@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablations of BreakHammer's design choices (DESIGN.md §4):
+ *  1. Score attribution: proportional (paper) vs winner-takes-all.
+ *  2. Counter organization: two time-interleaved sets (paper, Fig 4) vs a
+ *     single hard-reset set.
+ *  3. Throttle point: MSHR quota with free merges (paper, §4.3) vs a
+ *     blunt quota that rejects secondary misses too.
+ * Each ablation reports benign weighted speedup under attack and the
+ * misidentification pressure on benign threads.
+ */
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace bh;
+
+struct AblationResult
+{
+    double weightedSpeedup = 0;
+    std::uint64_t suspectMarks = 0;
+    std::uint64_t preventiveActions = 0;
+};
+
+AblationResult
+run(const MixSpec &mix, MitigationType mech, unsigned n_rh,
+    ScoreAttribution attribution, bool single_set, bool blunt)
+{
+    std::uint64_t insts = defaultInstructions();
+    SystemConfig sys;
+    sys.numCores = static_cast<unsigned>(mix.slots.size());
+    sys.spec = DramSpec::ddr5();
+    applyTimingSideEffects(mech, n_rh, &sys.spec);
+    sys.mitigation = mech;
+    sys.nRh = n_rh;
+    sys.breakHammer = true;
+    sys.bh = scaledBreakHammerConfig(insts);
+    sys.bh.attribution = attribution;
+    sys.bh.singleCounterSet = single_set;
+    sys.bluntThrottle = blunt;
+
+    System system(sys, mix.slots);
+    RunResult raw = system.run(insts, insts * 150);
+
+    std::vector<double> alone;
+    for (const std::string &app : benignApps(mix))
+        alone.push_back(soloIpc(app, insts));
+
+    AblationResult out;
+    out.weightedSpeedup = weightedSpeedup(raw.benignIpcs(), alone);
+    out.suspectMarks = raw.suspectMarks;
+    out.preventiveActions = raw.preventiveActions;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+
+    header("Ablations: BreakHammer design choices", "DESIGN.md §4");
+
+    const unsigned n_rh = 512;
+    const MitigationType mech = MitigationType::kGraphene;
+
+    struct Variant
+    {
+        const char *name;
+        ScoreAttribution attribution;
+        bool singleSet;
+        bool blunt;
+    };
+    const Variant variants[] = {
+        {"paper (prop/2set/merge)", ScoreAttribution::kProportional, false,
+         false},
+        {"winner-takes-all", ScoreAttribution::kWinnerTakesAll, false,
+         false},
+        {"single counter set", ScoreAttribution::kProportional, true,
+         false},
+        {"blunt throttle", ScoreAttribution::kProportional, false, true},
+    };
+
+    std::printf("%-26s %10s %10s %12s\n", "variant", "WS(attack)",
+                "marks", "prev.actions");
+    for (const Variant &v : variants) {
+        std::vector<double> ws;
+        std::uint64_t marks = 0, actions = 0;
+        for (const std::string &pattern : attackMixPatterns()) {
+            MixSpec mix = makeMix(pattern, 0);
+            AblationResult r =
+                run(mix, mech, n_rh, v.attribution, v.singleSet, v.blunt);
+            ws.push_back(r.weightedSpeedup);
+            marks += r.suspectMarks;
+            actions += r.preventiveActions;
+        }
+        std::printf("%-26s %10.3f %10llu %12llu\n", v.name, geomean(ws),
+                    static_cast<unsigned long long>(marks),
+                    static_cast<unsigned long long>(actions));
+    }
+    std::printf("\n(Graphene at N_RH=512 across the attack mix classes; "
+                "WS is geomean weighted speedup of benign apps)\n");
+    return 0;
+}

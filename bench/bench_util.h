@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark drivers.
+ *
+ * Every bench prints the same rows/series the paper's figure reports,
+ * scaled by BH_INSTS / BH_MIXES / BH_FULL (see sim/experiment.h). Results
+ * are raw text tables so diffs against EXPERIMENTS.md stay reviewable.
+ */
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "stats/metrics.h"
+
+namespace bh::benchutil {
+
+/** Print the standard bench header with the scale knobs in effect. */
+inline void
+header(const char *title, const char *paper_ref)
+{
+    std::printf("==== %s ====\n", title);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("scale: BH_INSTS=%llu BH_MIXES=%u%s\n\n",
+                static_cast<unsigned long long>(defaultInstructions()),
+                mixesPerClass(),
+                nrhSweep().size() > 3 ? " (BH_FULL sweep)" : "");
+}
+
+/** All attack mixes at the configured mixes-per-class scale. */
+inline std::vector<MixSpec>
+attackMixes()
+{
+    std::vector<MixSpec> mixes;
+    for (const std::string &pattern : attackMixPatterns())
+        for (unsigned i = 0; i < mixesPerClass(); ++i)
+            mixes.push_back(makeMix(pattern, i));
+    return mixes;
+}
+
+/** All benign mixes at the configured mixes-per-class scale. */
+inline std::vector<MixSpec>
+benignMixes()
+{
+    std::vector<MixSpec> mixes;
+    for (const std::string &pattern : benignMixPatterns())
+        for (unsigned i = 0; i < mixesPerClass(); ++i)
+            mixes.push_back(makeMix(pattern, i));
+    return mixes;
+}
+
+/** Cache of per-mix no-mitigation baselines (N_RH independent). */
+class BaselineCache
+{
+  public:
+    const ExperimentResult &
+    get(const MixSpec &mix)
+    {
+        auto it = cache.find(mix.name);
+        if (it != cache.end())
+            return it->second;
+        ExperimentConfig cfg;
+        cfg.mix = mix;
+        cfg.mechanism = MitigationType::kNone;
+        return cache.emplace(mix.name, runExperiment(cfg)).first->second;
+    }
+
+  private:
+    std::map<std::string, ExperimentResult> cache;
+};
+
+/** Run one (mix, mechanism, N_RH, BH) point. */
+inline ExperimentResult
+point(const MixSpec &mix, MitigationType mech, unsigned n_rh,
+      bool break_hammer)
+{
+    ExperimentConfig cfg;
+    cfg.mix = mix;
+    cfg.mechanism = mech;
+    cfg.nRh = n_rh;
+    cfg.breakHammer = break_hammer;
+    return runExperiment(cfg);
+}
+
+} // namespace bh::benchutil

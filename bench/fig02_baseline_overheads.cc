@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig 2: system performance of RowHammer mitigation mechanisms (without
+ * BreakHammer) on benign workloads as N_RH decreases, normalized to a
+ * no-mitigation baseline. Expected shape: all mechanisms degrade as N_RH
+ * shrinks; Hydra degrades least, PARA and AQUA most.
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+
+    header("Fig 2: baseline mitigation overheads (benign workloads)",
+           "paper Fig 2 (§3)");
+
+    const std::vector<MitigationType> mechanisms = {
+        MitigationType::kHydra, MitigationType::kRfm,
+        MitigationType::kPara, MitigationType::kAqua};
+
+    std::vector<MixSpec> mixes = benignMixes();
+    BaselineCache baselines;
+
+    std::printf("%-8s", "NRH");
+    for (MitigationType m : mechanisms)
+        std::printf(" %12s", mitigationName(m));
+    std::printf("   (normalized weighted speedup, geomean over %zu mixes)\n",
+                mixes.size());
+
+    for (unsigned n_rh : nrhSweep()) {
+        std::printf("%-8u", n_rh);
+        for (MitigationType mech : mechanisms) {
+            std::vector<double> normalized;
+            for (const MixSpec &mix : mixes) {
+                double base = baselines.get(mix).weightedSpeedup;
+                ExperimentResult r = point(mix, mech, n_rh, false);
+                normalized.push_back(r.weightedSpeedup / base);
+            }
+            std::printf(" %12.3f", geomean(normalized));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

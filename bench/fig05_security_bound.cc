@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig 5: the analytic security bound (Expression 2) — maximum RowHammer-
+ * preventive score an attack thread can gather before suspect
+ * identification, normalized to the average benign score, as a function of
+ * the attacker's thread share, for the paper's TH_outlier sweep.
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "breakhammer/security_model.h"
+
+int
+main()
+{
+    using namespace bh;
+
+    std::printf("==== Fig 5: RS_max_atk bound vs attacker thread share "
+                "(Expr 2) ====\n");
+    const double outliers[] = {0.05, 0.15, 0.25, 0.35, 0.45,
+                               0.55, 0.65, 0.75, 0.85, 0.95};
+
+    std::printf("%-10s", "atk%");
+    for (double o : outliers)
+        std::printf(" %7.2f", o);
+    std::printf("   (columns: TH_outlier)\n");
+
+    for (int pct = 0; pct <= 100; pct += 10) {
+        std::printf("%-10d", pct);
+        double f = pct / 100.0;
+        for (double o : outliers) {
+            double bound = maxAttackerScoreBound(f, o);
+            if (std::isinf(bound) || bound > 10.0)
+                std::printf(" %7s", ">10");
+            else
+                std::printf(" %7.2f", bound);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\npaper data points: THo=0.65 @50%% -> %.2fx (paper: "
+                "4.71x); THo=0.05 @90%% -> %.2fx (paper: 1.90x)\n",
+                maxAttackerScoreBound(0.5, 0.65),
+                maxAttackerScoreBound(0.9, 0.05));
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig 11: memory latency percentiles of benign applications at N_RH = 64
+ * with an attacker present: no defense vs mechanism vs mechanism+BH.
+ * Expected shape: +BH lowers latency at every percentile, sometimes below
+ * the no-defense baseline; AQUA's scale dwarfs the others.
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+
+    header("Fig 11: benign memory latency percentiles, N_RH=64, attacker",
+           "paper Fig 11 (§8.1)");
+
+    const unsigned n_rh = 64;
+    MixSpec mix = makeMix("HHMA", 0);
+    const double pcts[] = {50, 90, 99, 99.9};
+
+    ExperimentResult nodef = point(mix, MitigationType::kNone, 0, false);
+
+    std::printf("%-12s %8s %8s %8s %8s   (latency ns at P50/P90/P99/P99.9,"
+                " mix %s)\n",
+                "config", "P50", "P90", "P99", "P99.9", mix.name.c_str());
+    auto print_row = [&](const char *name, const Histogram &h) {
+        std::printf("%-12s", name);
+        for (double p : pcts)
+            std::printf(" %8.0f", h.percentile(p));
+        std::printf("\n");
+    };
+    print_row("NoDefense", nodef.raw.benignReadLatencyNs);
+
+    for (MitigationType mech : pairedMitigations()) {
+        ExperimentResult base = point(mix, mech, n_rh, false);
+        ExperimentResult paired = point(mix, mech, n_rh, true);
+        print_row(mitigationName(mech), base.raw.benignReadLatencyNs);
+        std::string paired_name = std::string(mitigationName(mech)) + "+BH";
+        print_row(paired_name.c_str(), paired.raw.benignReadLatencyNs);
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig 17: memory latency percentiles at N_RH = 64 with no attacker —
+ * BreakHammer must not degrade latency for benign-only workloads.
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+
+    header("Fig 17: benign memory latency percentiles, N_RH=64, no attack",
+           "paper Fig 17 (§8.2)");
+
+    const unsigned n_rh = 64;
+    MixSpec mix = makeMix("HHMM", 0);
+    const double pcts[] = {50, 90, 99, 99.9};
+
+    ExperimentResult nodef = point(mix, MitigationType::kNone, 0, false);
+
+    std::printf("%-12s %8s %8s %8s %8s   (latency ns, mix %s)\n", "config",
+                "P50", "P90", "P99", "P99.9", mix.name.c_str());
+    auto print_row = [&](const std::string &name, const Histogram &h) {
+        std::printf("%-12s", name.c_str());
+        for (double p : pcts)
+            std::printf(" %8.0f", h.percentile(p));
+        std::printf("\n");
+    };
+    print_row("NoDefense", nodef.raw.benignReadLatencyNs);
+
+    for (MitigationType mech : pairedMitigations()) {
+        ExperimentResult base = point(mix, mech, n_rh, false);
+        ExperimentResult paired = point(mix, mech, n_rh, true);
+        print_row(mitigationName(mech), base.raw.benignReadLatencyNs);
+        print_row(std::string(mitigationName(mech)) + "+BH",
+                  paired.raw.benignReadLatencyNs);
+    }
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig 19: sensitivity to TH_threat. The paper sweeps TH_threat in
+ * {32..4096} (per 64 ms window) at N_RH in {4096, 512, 64}, with and
+ * without an attacker, reporting box statistics of weighted speedup
+ * normalized to the TH_threat = 4096 configuration. The sweep here uses
+ * window-scaled TH_threat multiples (1x, 16x, 128x of the scaled base —
+ * the same ratios as the paper's 32/512/4096).
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+
+    header("Fig 19: sensitivity to TH_threat", "paper Fig 19 (§8.4)");
+
+    const unsigned nrh_points[] = {4096, 512, 64};
+    const double multipliers[] = {1.0, 16.0, 128.0};
+    const MitigationType mech = MitigationType::kGraphene;
+
+    BreakHammerConfig scaled =
+        scaledBreakHammerConfig(defaultInstructions());
+
+    for (bool attack : {true, false}) {
+        std::printf("-- %s --\n",
+                    attack ? "RowHammer attack present"
+                           : "no RowHammer attack");
+        std::printf("%-10s", "THthreat");
+        for (unsigned n_rh : nrh_points)
+            std::printf("  NRH=%-5u min/med/max      ", n_rh);
+        std::printf("\n");
+
+        // Reference: the largest TH_threat (effectively disabled).
+        std::map<unsigned, std::vector<double>> reference;
+        for (unsigned n_rh : nrh_points) {
+            for (const std::string &pattern :
+                 attack ? attackMixPatterns() : benignMixPatterns()) {
+                ExperimentConfig cfg;
+                cfg.mix = makeMix(pattern, 0);
+                cfg.mechanism = mech;
+                cfg.nRh = n_rh;
+                cfg.breakHammer = true;
+                cfg.bh = scaled;
+                cfg.bh.thThreat = scaled.thThreat * multipliers[2];
+                reference[n_rh].push_back(
+                    runExperiment(cfg).weightedSpeedup);
+            }
+        }
+
+        for (double mult : multipliers) {
+            std::printf("%-10.0f", scaled.thThreat * mult);
+            for (unsigned n_rh : nrh_points) {
+                std::vector<double> normalized;
+                unsigned idx = 0;
+                for (const std::string &pattern :
+                     attack ? attackMixPatterns() : benignMixPatterns()) {
+                    ExperimentConfig cfg;
+                    cfg.mix = makeMix(pattern, 0);
+                    cfg.mechanism = mech;
+                    cfg.nRh = n_rh;
+                    cfg.breakHammer = true;
+                    cfg.bh = scaled;
+                    cfg.bh.thThreat = scaled.thThreat * mult;
+                    normalized.push_back(
+                        runExperiment(cfg).weightedSpeedup /
+                        reference[n_rh][idx++]);
+                }
+                BoxStats box = boxStats(normalized);
+                std::printf("  %5.2f/%5.2f/%5.2f      ", box.min,
+                            box.median, box.max);
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    std::printf("(WS normalized to the largest TH_threat; paper: lower "
+                "TH_threat helps under attack, costs little without)\n");
+    return 0;
+}

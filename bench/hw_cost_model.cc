@@ -1,0 +1,48 @@
+/**
+ * @file
+ * §6 hardware complexity: BreakHammer's storage/area/latency inventory and
+ * the storage comparison against BlockHammer (§8.3's cost argument).
+ */
+#include <cstdio>
+#include <initializer_list>
+
+#include "breakhammer/cost_model.h"
+#include "dram/spec.h"
+
+int
+main()
+{
+    using namespace bh;
+
+    std::printf("==== Hardware cost model (paper §6) ====\n\n");
+    std::printf("BreakHammer per-thread state: 2x32b scores + 16b ACT "
+                "counter + 2x1b flags = %u bits\n",
+                kBreakHammerBitsPerThread);
+
+    for (unsigned threads : {4u, 8u, 16u, 32u, 64u}) {
+        std::printf("  %2u threads, 1 channel: %6llu bits, %.6f mm^2 "
+                    "(65 nm)\n",
+                    threads,
+                    static_cast<unsigned long long>(
+                        breakHammerStorageBits(threads, 1)),
+                    breakHammerAreaMm2(threads, 1));
+    }
+    std::printf("paper datum: 4 threads -> 0.000105 mm^2 per channel\n");
+    std::printf("update latency: %.2f ns (< tRRD: 2.5 ns DDR4, 5 ns "
+                "DDR5)\n\n",
+                kBreakHammerLatencyNs);
+
+    std::printf("Storage comparison vs BlockHammer (bits, 32 banks):\n");
+    std::printf("%-8s %16s %16s\n", "NRH", "BlockHammer", "BreakHammer");
+    unsigned banks = DramSpec::ddr5().org.totalBanks();
+    for (unsigned n_rh : {4096u, 1024u, 256u, 64u}) {
+        std::printf("%-8u %16llu %16llu\n", n_rh,
+                    static_cast<unsigned long long>(
+                        blockHammerStorageBits(n_rh, banks)),
+                    static_cast<unsigned long long>(
+                        breakHammerStorageBits(4, 1)));
+    }
+    std::printf("\n(BlockHammer's history buffers grow as N_RH shrinks; "
+                "BreakHammer's state is N_RH-independent, §8.3)\n");
+    return 0;
+}

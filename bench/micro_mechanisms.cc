@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot update paths: the
+ * BreakHammer observer (which §6 shows must beat tRRD), the Misra-Gries
+ * tracker, the counting Bloom filter, PARA's coin flip, and the latency
+ * histogram.
+ */
+#include <benchmark/benchmark.h>
+
+#include "breakhammer/breakhammer.h"
+#include "cache/mshr.h"
+#include "mitigation/blockhammer.h"
+#include "mitigation/misra_gries.h"
+#include "mitigation/para.h"
+#include "stats/histogram.h"
+
+namespace {
+
+using namespace bh;
+
+void
+BM_BreakHammerActivate(benchmark::State &state)
+{
+    MshrFile mshr(64, 4);
+    BreakHammerConfig cfg;
+    BreakHammer bh(4, cfg, &mshr);
+    Cycle now = 0;
+    for (auto _ : state) {
+        bh.onDemandActivate(now & 3, 0, now);
+        ++now;
+    }
+}
+BENCHMARK(BM_BreakHammerActivate);
+
+void
+BM_BreakHammerPreventiveAction(benchmark::State &state)
+{
+    MshrFile mshr(64, 4);
+    BreakHammerConfig cfg;
+    BreakHammer bh(4, cfg, &mshr);
+    Cycle now = 0;
+    for (auto _ : state) {
+        bh.onDemandActivate(now & 3, 0, now);
+        bh.onPreventiveAction(1.0, now);
+        ++now;
+    }
+}
+BENCHMARK(BM_BreakHammerPreventiveAction);
+
+void
+BM_MisraGriesIncrement(benchmark::State &state)
+{
+    MisraGries mg(static_cast<unsigned>(state.range(0)));
+    std::uint64_t row = 0;
+    for (auto _ : state) {
+        mg.increment(row % 1000);
+        ++row;
+    }
+}
+BENCHMARK(BM_MisraGriesIncrement)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_CbfIncrementEstimate(benchmark::State &state)
+{
+    CountingBloomFilter cbf(1024, 4);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        cbf.increment(key % 512);
+        benchmark::DoNotOptimize(cbf.estimate(key % 512));
+        ++key;
+    }
+}
+BENCHMARK(BM_CbfIncrementEstimate);
+
+void
+BM_ParaCoinFlip(benchmark::State &state)
+{
+    struct NullHost : IMitigationHost
+    {
+        void performVictimRefresh(unsigned, unsigned, double) override {}
+        void performMigration(unsigned, unsigned) override {}
+        void performRfm(unsigned, double) override {}
+        void performAlertBackoff(unsigned, double) override {}
+        void performTrackerAccess(unsigned, Cycle, double) override {}
+        void notifyRowProtected(unsigned, unsigned) override {}
+        void creditDirectScore(ThreadId, double) override {}
+    } host;
+    Para para(1024);
+    para.setHost(&host);
+    Cycle now = 0;
+    for (auto _ : state)
+        para.onActivate(0, 5, 0, ++now);
+}
+BENCHMARK(BM_ParaCoinFlip);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    Histogram h(2.0, 4096);
+    double v = 0;
+    for (auto _ : state) {
+        h.record(v);
+        v += 0.7;
+        if (v > 8000)
+            v = 0;
+    }
+}
+BENCHMARK(BM_HistogramRecord);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tables 1 & 2: the simulated system configuration and the BreakHammer
+ * configuration, printed from the live defaults so documentation cannot
+ * drift from the code.
+ */
+#include <cstdio>
+
+#include "breakhammer/breakhammer.h"
+#include "cache/llc.h"
+#include "core/core.h"
+#include "dram/spec.h"
+#include "mem/controller.h"
+
+int
+main()
+{
+    using namespace bh;
+
+    std::printf("==== Table 1: simulated system configuration ====\n");
+    CoreConfig core;
+    std::printf("Processor        %.1f GHz, 4 cores, %u-wide issue, "
+                "%u-entry instr. window\n",
+                kCpuFreqGhz, core.width, core.windowSize);
+    LlcConfig llc;
+    std::printf("Last-Level Cache %u-byte lines, %u-way, %llu MB, "
+                "%llu-cycle hit latency\n",
+                kCacheLineBytes, llc.ways,
+                static_cast<unsigned long long>(llc.sizeBytes >> 20),
+                static_cast<unsigned long long>(llc.hitLatency));
+    McConfig mc;
+    std::printf("Memory Controller %u-entry RD/WR queues; FR-FCFS+Cap "
+                "with Cap=%u; MOP address mapping\n",
+                mc.readQueueSize, mc.frfcfsCap);
+    DramSpec spec = DramSpec::ddr5();
+    std::printf("Main Memory      DDR5, 1 channel, %u ranks, %u bank "
+                "groups, %u banks/group, %uK rows/bank\n",
+                spec.org.ranks, spec.org.bankGroups,
+                spec.org.banksPerGroup, spec.org.rowsPerBank / 1024);
+    std::printf("Timing (ns)      tRCD=%.1f tRP=%.1f tRAS=%.1f tCL=%.1f "
+                "tRRD_S/L=%.1f/%.1f tFAW=%.1f tRFC=%.0f tREFI=%.0f "
+                "tRFM=%.0f\n",
+                spec.timingNs.tRCD, spec.timingNs.tRP, spec.timingNs.tRAS,
+                spec.timingNs.tCL, spec.timingNs.tRRD_S,
+                spec.timingNs.tRRD_L, spec.timingNs.tFAW,
+                spec.timingNs.tRFC, spec.timingNs.tREFI,
+                spec.timingNs.tRFM);
+
+    std::printf("\n==== Table 2: BreakHammer configuration ====\n");
+    BreakHammerConfig bhc;
+    std::printf("TH_window        %llu cycles (64 ms)\n",
+                static_cast<unsigned long long>(bhc.window));
+    std::printf("TH_threat        %.0f\n", bhc.thThreat);
+    std::printf("TH_outlier       %.2f\n", bhc.thOutlier);
+    std::printf("P_oldsuspect     %u\n", bhc.pOldSuspect);
+    std::printf("P_newsuspect     %u\n", bhc.pNewSuspect);
+    std::printf("\n(benches scale TH_window / TH_threat to the simulated "
+                "horizon; see sim/experiment.h)\n");
+    return 0;
+}

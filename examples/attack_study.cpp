@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Attack study: sweep attacker aggressiveness (aggressor rows per bank and
+ * attacked-bank footprint) against one mitigation mechanism and watch
+ * BreakHammer's detection respond — scores, suspect marks, quota, and the
+ * benign applications' recovered performance.
+ *
+ * Demonstrates: direct System construction, custom AttackerConfig, and the
+ * BreakHammer introspection API (the §4 "feedback to system software").
+ */
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+namespace {
+
+using namespace bh;
+
+void
+runCase(unsigned aggressors, unsigned banks)
+{
+    const std::uint64_t insts = 80000;
+
+    SystemConfig cfg;
+    cfg.mitigation = MitigationType::kGraphene;
+    cfg.nRh = 512;
+    cfg.breakHammer = true;
+    cfg.bh = scaledBreakHammerConfig(insts);
+
+    std::vector<WorkloadSlot> slots(4);
+    slots[0].appName = "mcf_like";
+    slots[1].appName = "zeusmp_like";
+    slots[2].appName = "tpcc_like";
+    slots[3].kind = WorkloadSlot::Kind::kAttacker;
+    slots[3].attacker.numAggressors = aggressors;
+    slots[3].attacker.numBanks = banks;
+
+    System sys(cfg, slots);
+    RunResult r = sys.run(insts, insts * 150);
+
+    double benign_ipc = 0;
+    for (int i = 0; i < 3; ++i)
+        benign_ipc += r.cores[i].ipc;
+
+    const BreakHammer *bh = sys.breakHammer();
+    std::printf("%9u %6u %12llu %10.3f %10.2f %8u %12llu\n", aggressors,
+                banks,
+                static_cast<unsigned long long>(r.preventiveActions),
+                benign_ipc, bh->score(3), bh->quota(3),
+                static_cast<unsigned long long>(r.quotaRejections));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Attack aggressiveness study (Graphene+BreakHammer, "
+                "N_RH=512)\n\n");
+    std::printf("%9s %6s %12s %10s %10s %8s %12s\n", "rows/bank", "banks",
+                "prev.actions", "benignIPC", "atk score", "quota",
+                "quota rejs");
+    for (unsigned aggressors : {2u, 4u, 8u})
+        for (unsigned banks : {2u, 8u, 32u})
+            runCase(aggressors, banks);
+
+    std::printf("\nReading the table: wider/denser hammering triggers more "
+                "preventive actions, drives the attacker's\nRowHammer-"
+                "preventive score up, and BreakHammer answers by cutting "
+                "its MSHR quota (quota rejections).\n");
+    return 0;
+}

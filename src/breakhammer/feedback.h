@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Optional feedback to the system software (§4, §5.2).
+ *
+ * BreakHammer exposes each hardware thread's RowHammer-preventive score
+ * the way thread-specific special registers are exposed. The system
+ * software can associate scores with software-level owners (processes,
+ * address spaces, users) and act on the *cumulative* score of an owner —
+ * the countermeasure §5.2 sketches against circumvention attacks where an
+ * attacker rotates hammering across many short-lived threads so that no
+ * single hardware thread looks suspicious for long.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "breakhammer/breakhammer.h"
+#include "common/log.h"
+#include "common/types.h"
+
+namespace bh {
+
+/** Software-level owner identifier (process / address space / user). */
+using OwnerId = std::uint32_t;
+
+/** Sentinel for "no owner bound". */
+inline constexpr OwnerId kNoOwner = 0xffffffffu;
+
+/**
+ * System-software-side score aggregation over BreakHammer's per-thread
+ * counters.
+ *
+ * The monitor is polled (e.g., on scheduler ticks): it reads each hardware
+ * thread's current score through the feedback interface and accredits the
+ * *increase* since the previous poll to the owner currently bound to the
+ * thread. Because accumulation happens at the owner, migrating the attack
+ * to a fresh thread does not shed the history.
+ */
+class SoftwareMonitor
+{
+  public:
+    /**
+     * @param bh The BreakHammer instance whose counters are exposed.
+     * @param num_threads Hardware thread count.
+     */
+    SoftwareMonitor(const BreakHammer *bh, unsigned num_threads)
+        : bh(bh), owners(num_threads, kNoOwner),
+          lastScore(num_threads, 0.0)
+    {
+        BH_ASSERT(bh != nullptr, "monitor needs a BreakHammer instance");
+    }
+
+    /** Bind @p thread to @p owner (context switch in). */
+    void
+    bind(ThreadId thread, OwnerId owner)
+    {
+        BH_ASSERT(thread < owners.size(), "bind of unknown thread");
+        owners[thread] = owner;
+    }
+
+    /** Unbind @p thread (context switch out). */
+    void unbind(ThreadId thread) { bind(thread, kNoOwner); }
+
+    /** Owner currently bound to @p thread. */
+    OwnerId ownerOf(ThreadId thread) const { return owners[thread]; }
+
+    /**
+     * Poll the hardware counters and accredit per-thread score increases
+     * to the bound owners. Score decreases (window resets) are ignored:
+     * owner totals are cumulative, which is the point.
+     */
+    void
+    poll()
+    {
+        for (ThreadId t = 0; t < owners.size(); ++t) {
+            double score = bh->score(t);
+            double delta = score - lastScore[t];
+            lastScore[t] = score;
+            if (delta <= 0.0 || owners[t] == kNoOwner)
+                continue;
+            ownerScores[owners[t]] += delta;
+        }
+    }
+
+    /** Cumulative RowHammer-preventive score of @p owner. */
+    double
+    ownerScore(OwnerId owner) const
+    {
+        auto it = ownerScores.find(owner);
+        return it == ownerScores.end() ? 0.0 : it->second;
+    }
+
+    /** Owners whose cumulative score is at least @p threshold. */
+    std::vector<OwnerId>
+    flaggedOwners(double threshold) const
+    {
+        std::vector<OwnerId> out;
+        for (const auto &[owner, score] : ownerScores)
+            if (score >= threshold)
+                out.push_back(owner);
+        return out;
+    }
+
+    /** Forget an owner (process exit). */
+    void forget(OwnerId owner) { ownerScores.erase(owner); }
+
+  private:
+    const BreakHammer *bh;
+    std::vector<OwnerId> owners;
+    std::vector<double> lastScore;
+    std::unordered_map<OwnerId, double> ownerScores;
+};
+
+} // namespace bh

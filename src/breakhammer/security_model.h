@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Analytic security model of §5.2 (Expression 2 / Fig 5).
+ *
+ * Bounds the RowHammer-preventive score an attack thread can accumulate
+ * before being identified as a suspect, as a function of the fraction of
+ * hardware threads the attacker controls and TH_outlier. Solving Expr 2
+ * with every attack thread held at the bound:
+ *
+ *   RS_max / RS_ben = (1 + THo) * (1 - f) / (1 - (1 + THo) * f)
+ *
+ * for attacker thread fraction f, unbounded once (1 + THo) * f >= 1.
+ */
+#pragma once
+
+#include <limits>
+
+namespace bh {
+
+/**
+ * Maximum attack-thread score before suspect identification, normalized
+ * to the average benign-thread score (Fig 5's y-axis).
+ *
+ * @param attacker_fraction Fraction of hardware threads the attacker
+ *        controls, in [0, 1].
+ * @param th_outlier The TH_outlier configuration parameter.
+ * @return The normalized bound; +infinity when the attacker controls
+ *         enough threads to rig the mean entirely.
+ */
+inline double
+maxAttackerScoreBound(double attacker_fraction, double th_outlier)
+{
+    double k = 1.0 + th_outlier;
+    double denom = 1.0 - k * attacker_fraction;
+    if (denom <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return k * (1.0 - attacker_fraction) / denom;
+}
+
+/**
+ * Minimum fraction of hardware threads an attacker must control so that
+ * an attack thread can reach @p target_ratio times the benign average
+ * without detection (inverse of maxAttackerScoreBound).
+ */
+inline double
+requiredAttackerFraction(double target_ratio, double th_outlier)
+{
+    double k = 1.0 + th_outlier;
+    if (target_ratio <= k)
+        return 0.0;
+    // ratio = k (1 - f) / (1 - k f)  =>  f = (ratio - k) / (k (ratio - 1)).
+    return (target_ratio - k) / (k * (target_ratio - 1.0));
+}
+
+} // namespace bh

@@ -1,0 +1,119 @@
+#include "cache/llc.h"
+
+#include "common/log.h"
+
+namespace bh {
+
+Llc::Llc(const LlcConfig &config) : config_(config)
+{
+    std::uint64_t lines = config.sizeBytes / kCacheLineBytes;
+    BH_ASSERT(lines % config.ways == 0, "LLC geometry must divide evenly");
+    std::uint64_t num_sets = lines / config.ways;
+    BH_ASSERT((num_sets & (num_sets - 1)) == 0,
+              "LLC set count must be a power of two");
+    sets.resize(num_sets);
+    for (auto &set : sets)
+        set.ways.resize(config.ways);
+}
+
+std::uint64_t
+Llc::setIndex(Addr line_addr) const
+{
+    return (line_addr >> kCacheLineBits) & (sets.size() - 1);
+}
+
+Addr
+Llc::tagOf(Addr line_addr) const
+{
+    return line_addr >> kCacheLineBits;
+}
+
+bool
+Llc::access(Addr line_addr, bool is_write)
+{
+    Set &set = sets[setIndex(line_addr)];
+    Addr tag = tagOf(line_addr);
+    for (Line &line : set.ways) {
+        if (line.valid && line.tag == tag) {
+            line.lru = ++lruClock;
+            if (is_write)
+                line.dirty = true;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Llc::allocate(Addr line_addr, bool is_write, Victim *victim)
+{
+    Set &set = sets[setIndex(line_addr)];
+    Addr tag = tagOf(line_addr);
+
+    Line *target = nullptr;
+    for (Line &line : set.ways) {
+        BH_ASSERT(!(line.valid && line.tag == tag),
+                  "allocate of already-present line");
+        if (!line.valid) {
+            target = &line;
+            break;
+        }
+        if (target == nullptr || line.lru < target->lru)
+            target = &line;
+    }
+
+    if (victim != nullptr) {
+        victim->dirtyWriteback = target->valid && target->dirty;
+        victim->writebackLine = target->tag << kCacheLineBits;
+        if (victim->dirtyWriteback)
+            ++writebacks_;
+    }
+
+    target->valid = true;
+    target->tag = tag;
+    target->dirty = is_write;
+    target->lru = ++lruClock;
+}
+
+bool
+Llc::probe(Addr line_addr) const
+{
+    const Set &set = sets[setIndex(line_addr)];
+    Addr tag = tagOf(line_addr);
+    for (const Line &line : set.ways)
+        if (line.valid && line.tag == tag)
+            return true;
+    return false;
+}
+
+void
+Llc::setDirty(Addr line_addr)
+{
+    Set &set = sets[setIndex(line_addr)];
+    Addr tag = tagOf(line_addr);
+    for (Line &line : set.ways) {
+        if (line.valid && line.tag == tag) {
+            line.dirty = true;
+            return;
+        }
+    }
+}
+
+bool
+Llc::invalidate(Addr line_addr)
+{
+    Set &set = sets[setIndex(line_addr)];
+    Addr tag = tagOf(line_addr);
+    for (Line &line : set.ways) {
+        if (line.valid && line.tag == tag) {
+            line.valid = false;
+            line.dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace bh

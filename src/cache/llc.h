@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Functional shared last-level cache model.
+ *
+ * Set-associative, LRU, write-back/write-allocate, 64 B lines (Table 1:
+ * 8 MiB, 8-way). Storage is tag-only: the simulator never models data
+ * contents. Misses reserve the victim way immediately (no transient states);
+ * the MSHR file tracks the outstanding fill.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bh {
+
+/** Shared LLC configuration (defaults = Table 1). */
+struct LlcConfig
+{
+    std::uint64_t sizeBytes = 8ull << 20;
+    unsigned ways = 8;
+    Cycle hitLatency = 40; ///< CPU cycles from access to data for a hit.
+};
+
+/** Tag-only set-associative cache with LRU replacement. */
+class Llc
+{
+  public:
+    /** Result of reserving a victim way for an incoming fill. */
+    struct Victim
+    {
+        bool dirtyWriteback = false;
+        Addr writebackLine = 0; ///< Line address (byte address of line).
+    };
+
+    explicit Llc(const LlcConfig &config);
+
+    /**
+     * Look up @p line_addr; on hit, updates LRU and dirtiness.
+     * @param line_addr Line-aligned byte address.
+     * @param is_write Marks the line dirty on hit.
+     * @return true on hit.
+     */
+    bool access(Addr line_addr, bool is_write);
+
+    /**
+     * Reserve a way for @p line_addr ahead of its fill, evicting LRU.
+     * @param[out] victim Filled with the evicted line if dirty.
+     * @pre The line is not present.
+     */
+    void allocate(Addr line_addr, bool is_write, Victim *victim);
+
+    /** Whether @p line_addr is present (no LRU update). */
+    bool probe(Addr line_addr) const;
+
+    /** Mark @p line_addr dirty if present (merged-store fill). */
+    void setDirty(Addr line_addr);
+
+    /** Invalidate a line if present. @return true if it was present. */
+    bool invalidate(Addr line_addr);
+
+    unsigned numSets() const { return static_cast<unsigned>(sets.size()); }
+    const LlcConfig &config() const { return config_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0; ///< Larger = more recently used.
+    };
+
+    struct Set
+    {
+        std::vector<Line> ways;
+    };
+
+    std::uint64_t setIndex(Addr line_addr) const;
+    Addr tagOf(Addr line_addr) const;
+
+    LlcConfig config_;
+    std::vector<Set> sets;
+    std::uint64_t lruClock = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace bh

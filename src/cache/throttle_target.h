@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Interface through which BreakHammer throttles a memory-request resource.
+ *
+ * The paper throttles the number of cache-miss buffers (MSHRs) a suspect
+ * thread may allocate at the LLC (§4.3). §4.4 sketches alternatives for
+ * DMA/cacheless systems; any resource pool implementing this interface can
+ * be the throttle point, which is also what the throttle-point ablation
+ * exercises.
+ */
+#pragma once
+
+#include "common/types.h"
+
+namespace bh {
+
+/** A per-thread-quota resource pool BreakHammer can throttle. */
+class IThrottleTarget
+{
+  public:
+    virtual ~IThrottleTarget() = default;
+
+    /** Set thread @p thread's allocation quota to @p quota entries. */
+    virtual void setQuota(ThreadId thread, unsigned quota) = 0;
+
+    /** The unthrottled quota (the full resource count). */
+    virtual unsigned fullQuota() const = 0;
+
+    /** Current quota of @p thread. */
+    virtual unsigned quota(ThreadId thread) const = 0;
+};
+
+} // namespace bh

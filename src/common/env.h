@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Helpers for reading scale knobs from the environment.
+ *
+ * The benchmark harness follows the paper's methodology but lets the user
+ * scale simulation size (instructions per core, mixes per class, N_RH sweep
+ * density) without recompiling: BH_INSTS, BH_MIXES, BH_FULL.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace bh {
+
+/** Read an integer environment variable, or return @p def if unset/bad. */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return def;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v)
+        return def;
+    return static_cast<std::uint64_t>(parsed);
+}
+
+/** Read a boolean flag environment variable (non-zero means true). */
+inline bool
+envFlag(const char *name)
+{
+    return envU64(name, 0) != 0;
+}
+
+} // namespace bh

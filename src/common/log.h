@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal fatal/panic helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (simulator bugs); fatal() is
+ * for user configuration errors. Both print to stderr and abort/exit, so
+ * they are acceptable in a library context where exceptions are not used on
+ * hot paths.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bh {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace bh
+
+/** Abort on simulator bug. */
+#define BH_PANIC(msg) ::bh::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Exit on user configuration error. */
+#define BH_FATAL(msg) ::bh::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Invariant check that stays on in release builds. */
+#define BH_ASSERT(cond, msg)                                                  \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            BH_PANIC(msg);                                                    \
+    } while (0)

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every module.
+ *
+ * The whole simulator runs in a single clock domain: CPU cycles at
+ * `kCpuFreqGhz`. DRAM timing parameters are written down in nanoseconds
+ * (as JEDEC specifies them) and converted to CPU cycles once, at spec
+ * construction time, via `nsToCycles()`.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bh {
+
+/** Simulation time in CPU clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical memory address (byte granular). */
+using Addr = std::uint64_t;
+
+/** Hardware thread / core identifier. */
+using ThreadId = std::uint32_t;
+
+/** Sentinel for "no thread" (e.g., controller-generated traffic). */
+inline constexpr ThreadId kInvalidThread =
+    std::numeric_limits<ThreadId>::max();
+
+/** Sentinel cycle meaning "never" / "not scheduled". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Processor clock frequency (Table 1 of the paper: 4.2 GHz). */
+inline constexpr double kCpuFreqGhz = 4.2;
+
+/** Cache line size in bytes (Table 1). */
+inline constexpr unsigned kCacheLineBytes = 64;
+
+/** Number of low address bits covered by one cache line. */
+inline constexpr unsigned kCacheLineBits = 6;
+
+/**
+ * Convert a duration in nanoseconds to CPU cycles, rounding up so that
+ * converted constraints are never optimistic.
+ */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    double cycles = ns * kCpuFreqGhz;
+    auto floor_cycles = static_cast<Cycle>(cycles);
+    return (static_cast<double>(floor_cycles) < cycles) ? floor_cycles + 1
+                                                        : floor_cycles;
+}
+
+/** Convert CPU cycles back to nanoseconds (for reporting). */
+constexpr double
+cyclesToNs(Cycle cycles)
+{
+    return static_cast<double>(cycles) / kCpuFreqGhz;
+}
+
+/** Convert milliseconds to CPU cycles (refresh/throttling windows). */
+constexpr Cycle
+msToCycles(double ms)
+{
+    return nsToCycles(ms * 1e6);
+}
+
+} // namespace bh

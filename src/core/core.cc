@@ -1,0 +1,101 @@
+#include "core/core.h"
+
+#include "common/log.h"
+
+namespace bh {
+
+Core::Core(ThreadId id, TraceSource *trace, ICoreMemory *memory,
+           const CoreConfig &config, bool benign)
+    : id_(id), trace(trace), memory(memory), config_(config),
+      benign_(benign), window(config.windowSize)
+{
+    BH_ASSERT(config.windowSize > 0 && config.width > 0,
+              "degenerate core configuration");
+}
+
+void
+Core::completeLoad(std::uint64_t token, Cycle now)
+{
+    // Tokens are issue indices; at most windowSize are in flight, so the
+    // slot is simply the token modulo the window size.
+    WindowEntry &entry = window[token % window.size()];
+    BH_ASSERT(entry.doneAt == kNeverCycle, "load completion for idle slot");
+    entry.doneAt = now;
+}
+
+bool
+Core::issueOne(Cycle now)
+{
+    if (pendingBubbles == 0 && !recValid) {
+        rec = trace->next();
+        recValid = true;
+        pendingBubbles = rec.bubbles;
+    }
+
+    unsigned slot =
+        static_cast<unsigned>(issueCounter % window.size());
+
+    if (pendingBubbles > 0) {
+        // Non-memory instruction: occupies a window slot, retires freely.
+        window[slot].doneAt = now;
+        --pendingBubbles;
+        ++issueCounter;
+        ++occupancy;
+        return true;
+    }
+
+    // Memory access at the head of the pending record.
+    if (rec.isWrite) {
+        AccessOutcome out = memory->store(id_, rec.addr, rec.uncached);
+        if (out == AccessOutcome::kRejected) {
+            ++rejectStalls;
+            return false;
+        }
+        window[slot].doneAt = now; // Stores retire at issue.
+    } else {
+        AccessOutcome out =
+            memory->load(id_, rec.addr, rec.uncached, issueCounter);
+        switch (out) {
+          case AccessOutcome::kHit:
+            window[slot].doneAt = now + config_.llcHitLatency;
+            break;
+          case AccessOutcome::kQueued:
+            window[slot].doneAt = kNeverCycle;
+            break;
+          case AccessOutcome::kRejected:
+            ++rejectStalls;
+            return false;
+        }
+    }
+    ++memAccesses;
+    ++issueCounter;
+    ++occupancy;
+    recValid = false;
+    return true;
+}
+
+void
+Core::tick(Cycle now)
+{
+    // Retire in order from the window head.
+    for (unsigned i = 0; i < config_.width && occupancy > 0; ++i) {
+        WindowEntry &entry = window[head];
+        if (entry.doneAt == kNeverCycle || entry.doneAt > now)
+            break;
+        head = (head + 1) % static_cast<unsigned>(window.size());
+        --occupancy;
+        ++retired_;
+        if (target_ != 0 && retired_ == target_ && finishCycle_ == 0)
+            finishCycle_ = now;
+    }
+
+    // Issue new work while slots and width remain.
+    for (unsigned i = 0; i < config_.width; ++i) {
+        if (occupancy >= window.size())
+            break;
+        if (!issueOne(now))
+            break;
+    }
+}
+
+} // namespace bh

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model (Table 1: 4.2 GHz, 4-wide issue,
+ * 128-entry instruction window).
+ *
+ * Follows the Ramulator2 SimpleO3 approach: non-memory instructions retire
+ * immediately (they only occupy issue slots and window entries); loads hold
+ * their window entry until data returns; stores retire at issue and drain
+ * through the write path. The window gives memory-level parallelism, and a
+ * full window (or a rejected memory access, e.g., an MSHR-quota rejection
+ * injected by BreakHammer) stalls the front end — the backpressure that
+ * makes MSHR-quota throttling effective.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace bh {
+
+/** Outcome of presenting a memory access to the memory system. */
+enum class AccessOutcome
+{
+    kHit,      ///< Completes after the LLC hit latency.
+    kQueued,   ///< Miss in flight; completion arrives via callback.
+    kRejected, ///< No resources (MSHR quota / queue full); retry later.
+};
+
+/** Interface the core uses to touch the memory system. */
+class ICoreMemory
+{
+  public:
+    virtual ~ICoreMemory() = default;
+
+    /**
+     * Issue a load.
+     * @param token Core-private id echoed in the completion callback.
+     */
+    virtual AccessOutcome load(ThreadId thread, Addr addr, bool uncached,
+                               std::uint64_t token) = 0;
+
+    /** Issue a store (fire-and-forget for the core). */
+    virtual AccessOutcome store(ThreadId thread, Addr addr,
+                                bool uncached) = 0;
+};
+
+/** Core configuration (defaults = Table 1). */
+struct CoreConfig
+{
+    unsigned windowSize = 128;
+    unsigned width = 4; ///< Issue and retire width.
+    Cycle llcHitLatency = 40; ///< Load-to-use latency of an LLC hit.
+};
+
+/** One trace-driven hardware thread. */
+class Core
+{
+  public:
+    /**
+     * @param benign Benign cores define simulation end and metrics;
+     *               attacker cores run for as long as the simulation does.
+     */
+    Core(ThreadId id, TraceSource *trace, ICoreMemory *memory,
+         const CoreConfig &config, bool benign);
+
+    /** Advance one CPU cycle. */
+    void tick(Cycle now);
+
+    /** Completion callback for a queued load. */
+    void completeLoad(std::uint64_t token, Cycle now);
+
+    ThreadId id() const { return id_; }
+    bool benign() const { return benign_; }
+    std::uint64_t retired() const { return retired_; }
+
+    /** First cycle at which @p target instructions had retired (or 0). */
+    Cycle
+    finishCycle() const
+    {
+        return finishCycle_;
+    }
+
+    /** Arm the retirement target that latches finishCycle(). */
+    void setTarget(std::uint64_t target) { target_ = target; }
+
+    bool
+    reachedTarget() const
+    {
+        return target_ != 0 && retired_ >= target_;
+    }
+
+    /** Cycles the front end was blocked by a rejected memory access. */
+    std::uint64_t rejectStallCycles() const { return rejectStalls; }
+
+    /** Memory accesses issued (loads + stores). */
+    std::uint64_t memoryAccesses() const { return memAccesses; }
+
+  private:
+    struct WindowEntry
+    {
+        Cycle doneAt = 0; ///< kNeverCycle while waiting on a fill.
+    };
+
+    bool issueOne(Cycle now);
+
+    ThreadId id_;
+    TraceSource *trace;
+    ICoreMemory *memory;
+    CoreConfig config_;
+    bool benign_;
+
+    std::vector<WindowEntry> window;
+    unsigned head = 0;
+    unsigned occupancy = 0;
+    std::uint64_t issueCounter = 0; ///< Doubles as the load token.
+
+    std::uint32_t pendingBubbles = 0;
+    bool recValid = false;
+    TraceRecord rec;
+
+    std::uint64_t retired_ = 0;
+    std::uint64_t target_ = 0;
+    Cycle finishCycle_ = 0;
+    std::uint64_t rejectStalls = 0;
+    std::uint64_t memAccesses = 0;
+};
+
+} // namespace bh

@@ -1,0 +1,73 @@
+#include "dram/address.h"
+
+#include "common/log.h"
+
+namespace bh {
+
+unsigned
+AddressMapper::log2u(unsigned v)
+{
+    BH_ASSERT(v != 0 && (v & (v - 1)) == 0, "value must be a power of two");
+    unsigned bits = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+AddressMapper::AddressMapper(const DramOrg &org, unsigned mop_lines)
+    : org_(org),
+      mopBits(log2u(mop_lines)),
+      bankBits(log2u(org.banksPerGroup)),
+      bgBits(log2u(org.bankGroups)),
+      rankBits(log2u(org.ranks)),
+      colBits(log2u(org.linesPerRow)),
+      rowBits(log2u(org.rowsPerBank))
+{
+    BH_ASSERT(mopBits <= colBits, "MOP group larger than a row");
+}
+
+DramAddress
+AddressMapper::decode(Addr addr) const
+{
+    std::uint64_t line = (addr % capacityBytes()) >> kCacheLineBits;
+
+    auto take = [&line](unsigned bits) -> unsigned {
+        unsigned v = static_cast<unsigned>(line & ((1ull << bits) - 1));
+        line >>= bits;
+        return v;
+    };
+
+    DramAddress da;
+    unsigned col_low = take(mopBits);
+    da.bank = take(bankBits);
+    da.bankGroup = take(bgBits);
+    da.rank = take(rankBits);
+    unsigned col_high = take(colBits - mopBits);
+    da.row = take(rowBits);
+    da.column = (col_high << mopBits) | col_low;
+    return da;
+}
+
+Addr
+AddressMapper::encode(const DramAddress &da) const
+{
+    std::uint64_t line = 0;
+    unsigned shift = 0;
+
+    auto put = [&line, &shift](std::uint64_t v, unsigned bits) {
+        line |= (v & ((1ull << bits) - 1)) << shift;
+        shift += bits;
+    };
+
+    put(da.column & ((1u << mopBits) - 1), mopBits);
+    put(da.bank, bankBits);
+    put(da.bankGroup, bgBits);
+    put(da.rank, rankBits);
+    put(da.column >> mopBits, colBits - mopBits);
+    put(da.row, rowBits);
+    return line << kCacheLineBits;
+}
+
+} // namespace bh

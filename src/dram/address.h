@@ -1,0 +1,84 @@
+/**
+ * @file
+ * DRAM address decomposition and the MOP address mapping (Table 1).
+ *
+ * The MOP ("Minimalist Open Page", Kaseridis et al., MICRO'11) mapping keeps
+ * a small group of consecutive cache lines in the same row of the same bank
+ * and then interleaves groups across banks, balancing row-buffer locality
+ * against bank-level parallelism.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/spec.h"
+
+namespace bh {
+
+/** Decoded DRAM coordinates of one cache-line address. */
+struct DramAddress
+{
+    unsigned rank = 0;
+    unsigned bankGroup = 0;
+    unsigned bank = 0; ///< Bank within its bank group.
+    unsigned row = 0;
+    unsigned column = 0; ///< Cache-line index within the row.
+
+    bool
+    operator==(const DramAddress &other) const
+    {
+        return rank == other.rank && bankGroup == other.bankGroup &&
+               bank == other.bank && row == other.row &&
+               column == other.column;
+    }
+};
+
+/**
+ * MOP address mapper for one channel.
+ *
+ * Bit layout from LSB to MSB (after the 6 line-offset bits):
+ * [mop column bits][bank][bank group][rank][high column bits][row].
+ */
+class AddressMapper
+{
+  public:
+    /**
+     * @param org Channel organization.
+     * @param mop_lines Consecutive cache lines kept in one bank (power of 2).
+     */
+    explicit AddressMapper(const DramOrg &org, unsigned mop_lines = 4);
+
+    /** Decode a byte address into DRAM coordinates. */
+    DramAddress decode(Addr addr) const;
+
+    /** Encode DRAM coordinates back into a byte address (offset 0). */
+    Addr encode(const DramAddress &da) const;
+
+    /** Flat bank index in [0, org.totalBanks()). */
+    unsigned
+    flatBank(const DramAddress &da) const
+    {
+        return (da.rank * org_.bankGroups + da.bankGroup) *
+                   org_.banksPerGroup +
+               da.bank;
+    }
+
+    /** Number of addressable bytes (addresses wrap above this). */
+    std::uint64_t capacityBytes() const { return org_.capacityBytes(); }
+
+    const DramOrg &org() const { return org_; }
+
+  private:
+    static unsigned log2u(unsigned v);
+
+    DramOrg org_;
+    unsigned mopBits;
+    unsigned bankBits;
+    unsigned bgBits;
+    unsigned rankBits;
+    unsigned colBits;  ///< Total column (line-in-row) bits.
+    unsigned rowBits;
+};
+
+} // namespace bh

@@ -1,0 +1,59 @@
+#include "dram/spec.h"
+
+namespace bh {
+
+DramTiming
+DramTiming::fromNs(const DramTimingNs &ns)
+{
+    DramTiming t;
+    t.tRCD = nsToCycles(ns.tRCD);
+    t.tRP = nsToCycles(ns.tRP);
+    t.tRAS = nsToCycles(ns.tRAS);
+    t.tRC = nsToCycles(ns.tRAS + ns.tRP);
+    t.tCL = nsToCycles(ns.tCL);
+    t.tCWL = nsToCycles(ns.tCWL);
+    t.tBL = nsToCycles(ns.tBL);
+    t.tCCD = nsToCycles(ns.tCCD);
+    t.tRRD_L = nsToCycles(ns.tRRD_L);
+    t.tRRD_S = nsToCycles(ns.tRRD_S);
+    t.tFAW = nsToCycles(ns.tFAW);
+    t.tWR = nsToCycles(ns.tWR);
+    t.tRTP = nsToCycles(ns.tRTP);
+    t.tWTR = nsToCycles(ns.tWTR);
+    t.tRTW = nsToCycles(ns.tRTW);
+    t.tRFC = nsToCycles(ns.tRFC);
+    t.tREFI = nsToCycles(ns.tREFI);
+    t.tRFM = nsToCycles(ns.tRFM);
+    t.tREFW = nsToCycles(ns.tREFW);
+    t.readLatency = t.tCL + t.tBL;
+    return t;
+}
+
+DramSpec
+DramSpec::ddr5()
+{
+    DramSpec spec;
+    spec.org = DramOrg{};
+    spec.timingNs = DramTimingNs{};
+    spec.refreshTiming();
+    spec.energy = DramEnergy{};
+    return spec;
+}
+
+DramSpec
+DramSpec::ddr4()
+{
+    DramSpec spec = ddr5();
+    spec.org.bankGroups = 4;
+    spec.org.banksPerGroup = 4;
+    spec.timingNs.tREFI = 7800.0;
+    spec.timingNs.tREFW = 64e6;
+    spec.timingNs.tRFC = 350.0;
+    spec.timingNs.tCL = 13.75;
+    spec.timingNs.tRCD = 13.75;
+    spec.timingNs.tRP = 13.75;
+    spec.refreshTiming();
+    return spec;
+}
+
+} // namespace bh

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * DRAM device specification: organization, timing, and energy parameters.
+ *
+ * Timing parameters are written down in nanoseconds the way JEDEC specifies
+ * them and converted once into CPU cycles (single 4.2 GHz clock domain, see
+ * common/types.h). The DDR5 preset models a DDR5-4800-class device with the
+ * organization of Table 1 of the paper: 1 channel, 2 ranks, 8 bank groups,
+ * 2 banks per bank group, 64K rows per bank, 8 KiB rows.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace bh {
+
+/** Physical organization of one memory channel. */
+struct DramOrg
+{
+    unsigned channels = 1;
+    unsigned ranks = 2;
+    unsigned bankGroups = 8;
+    unsigned banksPerGroup = 2;
+    unsigned rowsPerBank = 65536;
+    /** Cache lines per row (8 KiB row / 64 B line = 128). */
+    unsigned linesPerRow = 128;
+
+    /** Banks in one rank. */
+    unsigned banksPerRank() const { return bankGroups * banksPerGroup; }
+
+    /** Banks across all ranks of one channel. */
+    unsigned totalBanks() const { return ranks * banksPerRank(); }
+
+    /** Total rows across all banks of one channel. */
+    std::uint64_t
+    totalRows() const
+    {
+        return static_cast<std::uint64_t>(totalBanks()) * rowsPerBank;
+    }
+
+    /** Channel capacity in bytes. */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return totalRows() * linesPerRow * kCacheLineBytes;
+    }
+};
+
+/** JEDEC-style timing constraints in nanoseconds. */
+struct DramTimingNs
+{
+    double tRCD = 16.0;   ///< ACT to RD/WR.
+    double tRP = 16.0;    ///< PRE to ACT.
+    double tRAS = 32.0;   ///< ACT to PRE.
+    double tCL = 16.7;    ///< RD to first data.
+    double tCWL = 15.0;   ///< WR to first data.
+    double tBL = 3.33;    ///< Data burst duration (BL16 at 4800 MT/s).
+    double tCCD = 5.0;    ///< Column command spacing (tCCD_L, conservative).
+    double tRRD_L = 5.0;  ///< ACT-to-ACT, same bank group.
+    double tRRD_S = 2.5;  ///< ACT-to-ACT, different bank group.
+    double tFAW = 21.0;   ///< Four-activation window per rank.
+    double tWR = 30.0;    ///< Write recovery before PRE.
+    double tRTP = 7.5;    ///< RD to PRE.
+    double tWTR = 10.0;   ///< WR data end to RD (same rank).
+    double tRTW = 2.5;    ///< RD data end to WR.
+    double tRFC = 295.0;  ///< All-bank refresh duration (16 Gb device).
+    double tREFI = 3900.0; ///< Refresh command interval (DDR5: 3.9 us).
+    double tRFM = 195.0;  ///< Refresh-management command duration.
+    double tREFW = 32e6;  ///< Refresh window (DDR5: 32 ms).
+};
+
+/** Timing constraints converted to CPU cycles. */
+struct DramTiming
+{
+    Cycle tRCD, tRP, tRAS, tRC, tCL, tCWL, tBL, tCCD;
+    Cycle tRRD_L, tRRD_S, tFAW, tWR, tRTP, tWTR, tRTW;
+    Cycle tRFC, tREFI, tRFM, tREFW;
+    /** Read data return latency: tCL + tBL. */
+    Cycle readLatency;
+
+    /** Convert a nanosecond timing block to CPU cycles. */
+    static DramTiming fromNs(const DramTimingNs &ns);
+};
+
+/**
+ * Per-command energy model (rank level, approximate DDR5 values).
+ *
+ * Values are storage-order-of-magnitude approximations derived from
+ * DRAMPower-style IDD calculations; the evaluation only depends on the
+ * relative weight of preventive actions (extra ACT/PRE pairs, RFM windows,
+ * row migrations) versus demand traffic, which these preserve.
+ */
+struct DramEnergy
+{
+    double actPreNj = 12.0;     ///< One ACT + eventual PRE pair.
+    double rdNj = 16.0;         ///< One 64 B read burst incl. IO.
+    double wrNj = 16.0;         ///< One 64 B write burst incl. IO.
+    double refNj = 1400.0;      ///< One all-bank REF (tRFC worth of work).
+    double rfmNj = 450.0;       ///< One RFM command window.
+    double vrrPerRowNj = 24.0;  ///< Preventive refresh of one victim row.
+    double migrationNj = 2600.0; ///< One AQUA row migration (read+write row).
+    double backgroundMwPerRank = 180.0; ///< Flat standby power per rank.
+};
+
+/** Complete device specification. */
+struct DramSpec
+{
+    DramOrg org;
+    DramTimingNs timingNs;
+    DramTiming timing;
+    DramEnergy energy;
+
+    /** DDR5-4800-class preset with Table 1 organization. */
+    static DramSpec ddr5();
+
+    /** DDR4-3200-class preset (64 ms tREFW, 7.8 us tREFI). */
+    static DramSpec ddr4();
+
+    /** Recompute cycle-domain timing after editing timingNs. */
+    void refreshTiming() { timing = DramTiming::fromNs(timingNs); }
+};
+
+} // namespace bh

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Cycle-level DRAM bank/rank/channel timing engine.
+ *
+ * Tracks, per bank, the earliest cycle at which each command class is legal,
+ * plus rank-level ACT spacing (tRRD_L/tRRD_S, tFAW), channel-level column
+ * command spacing and read/write turnaround, refresh blackouts (tRFC), RFM
+ * windows (tRFM), and arbitrary maintenance blackouts used to model victim-
+ * row refreshes, AQUA row migrations, and PRAC alert back-off.
+ *
+ * The controller asks `canIssue()` and then calls the matching `issue*()`;
+ * the engine never schedules on its own.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/energy.h"
+#include "dram/spec.h"
+
+namespace bh {
+
+/** DRAM command classes the engine arbitrates. */
+enum class DramCommand
+{
+    kAct,
+    kPre,
+    kRead,
+    kWrite,
+};
+
+/** Per-bank timing and row-buffer state. */
+struct BankState
+{
+    bool open = false;
+    unsigned openRow = 0;
+    Cycle nextAct = 0;     ///< Earliest next ACT (tRC, tRP after PRE).
+    Cycle nextPre = 0;     ///< Earliest next PRE (tRAS, tRTP, tWR).
+    Cycle nextRdWr = 0;    ///< Earliest next column command (tRCD, tCCD).
+    Cycle blockedUntil = 0; ///< Maintenance blackout (REF/RFM/VRR/...).
+};
+
+/** Per-rank ACT spacing state. */
+struct RankState
+{
+    Cycle lastAct = 0;
+    unsigned lastActBankGroup = 0;
+    bool hasLastAct = false;
+    std::array<Cycle, 4> fawWindow{}; ///< Ring of recent ACT cycles.
+    unsigned fawCount = 0;            ///< ACTs recorded so far (saturates).
+    unsigned fawHead = 0;
+    Cycle blockedUntil = 0; ///< Rank-wide blackout (REF, alert back-off).
+};
+
+/** Channel-level data/command bus state. */
+struct ChannelBusState
+{
+    Cycle nextRead = 0;  ///< Earliest next RD start (tCCD, tWTR).
+    Cycle nextWrite = 0; ///< Earliest next WR start (tCCD, tRTW).
+};
+
+/** The timing engine for one channel. */
+class TimingEngine
+{
+  public:
+    explicit TimingEngine(const DramSpec &spec);
+
+    /** Whether @p cmd to @p flat_bank is legal at cycle @p now. */
+    bool canIssue(DramCommand cmd, unsigned flat_bank, Cycle now) const;
+
+    /** Issue ACT opening @p row. @pre canIssue(kAct, ...). */
+    void issueAct(unsigned flat_bank, unsigned row, Cycle now);
+
+    /** Issue PRE closing the open row. @pre canIssue(kPre, ...). */
+    void issuePre(unsigned flat_bank, Cycle now);
+
+    /**
+     * Issue RD to the open row.
+     * @return Cycle at which read data is fully returned.
+     * @pre canIssue(kRead, ...).
+     */
+    Cycle issueRead(unsigned flat_bank, Cycle now);
+
+    /** Issue WR to the open row. @pre canIssue(kWrite, ...). */
+    void issueWrite(unsigned flat_bank, Cycle now);
+
+    /**
+     * All-bank refresh on @p rank: closes and blocks every bank for tRFC.
+     * @pre rankQuiesced(rank, now).
+     */
+    void issueRefresh(unsigned rank, Cycle now);
+
+    /** RFM on @p flat_bank: closes and blocks the bank for tRFM. */
+    void issueRfm(unsigned flat_bank, Cycle now);
+
+    /**
+     * Generic maintenance blackout on one bank (victim-row refresh, row
+     * migration). Closes the row; the bank accepts no command until
+     * now + duration.
+     */
+    void blockBank(unsigned flat_bank, Cycle now, Cycle duration);
+
+    /** Rank-wide blackout (PRAC alert back-off). Closes all rows. */
+    void blockRank(unsigned rank, Cycle now, Cycle duration);
+
+    /** True when every bank of @p rank is precharged and not blocked. */
+    bool rankQuiesced(unsigned rank, Cycle now) const;
+
+    const BankState &bank(unsigned flat_bank) const
+    {
+        return banks[flat_bank];
+    }
+
+    /** Rank index of a flat bank. */
+    unsigned
+    rankOf(unsigned flat_bank) const
+    {
+        return flat_bank / spec_.org.banksPerRank();
+    }
+
+    /** Bank-group index (within its rank) of a flat bank. */
+    unsigned
+    bankGroupOf(unsigned flat_bank) const
+    {
+        return (flat_bank % spec_.org.banksPerRank()) /
+               spec_.org.banksPerGroup;
+    }
+
+    EnergyAccounting &energy() { return energy_; }
+    const EnergyAccounting &energy() const { return energy_; }
+
+    const DramSpec &spec() const { return spec_; }
+
+  private:
+    bool actAllowedByRank(const RankState &rank, unsigned bank_group,
+                          Cycle now) const;
+    void recordAct(RankState &rank, unsigned bank_group, Cycle now);
+
+    DramSpec spec_;
+    std::vector<BankState> banks;
+    std::vector<RankState> ranks;
+    ChannelBusState bus;
+    EnergyAccounting energy_;
+};
+
+} // namespace bh

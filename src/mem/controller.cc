@@ -1,0 +1,379 @@
+#include "mem/controller.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace bh {
+
+MemoryController::MemoryController(const DramSpec &spec,
+                                   const AddressMapper &mapper,
+                                   const McConfig &config)
+    : spec_(spec), mapper(mapper), config_(config), engine_(spec),
+      maintQ(spec.org.totalBanks()),
+      nextRefAt(spec.org.ranks, spec.timing.tREFI),
+      refSweepPos(spec.org.ranks, 0),
+      hitStreak(spec.org.totalBanks(), 0)
+{}
+
+void
+MemoryController::setMitigation(IMitigation *m)
+{
+    mitigation = m;
+    if (m != nullptr)
+        m->setHost(this);
+}
+
+void
+MemoryController::enqueueRead(Request req, Cycle now)
+{
+    BH_ASSERT(canEnqueueRead(), "read queue overflow");
+    req.da = mapper.decode(req.addr);
+    req.flatBank = mapper.flatBank(req.da);
+    req.enqueueCycle = now;
+    readQ.push_back(req);
+}
+
+void
+MemoryController::enqueueWrite(Request req, Cycle now)
+{
+    BH_ASSERT(canEnqueueWrite(), "write queue overflow");
+    req.da = mapper.decode(req.addr);
+    req.flatBank = mapper.flatBank(req.da);
+    req.enqueueCycle = now;
+    writeQ.push_back(req);
+}
+
+// --- IMitigationHost -------------------------------------------------
+
+void
+MemoryController::performVictimRefresh(unsigned flat_bank, unsigned row,
+                                       double weight)
+{
+    MaintOp op;
+    op.victimRows = config_.victimRowsPerRefresh;
+    op.duration = spec_.timing.tRC * op.victimRows;
+    op.protectedRow = static_cast<long>(row);
+    maintQ[flat_bank].push_back(op);
+    ++preventiveActions_;
+    if (observer != nullptr)
+        observer->onPreventiveAction(weight, lastSeenCycle);
+}
+
+void
+MemoryController::performMigration(unsigned flat_bank, unsigned row)
+{
+    MaintOp op;
+    op.isMigration = true;
+    op.duration = nsToCycles(config_.migrationLatencyNs);
+    op.protectedRow = static_cast<long>(row);
+    maintQ[flat_bank].push_back(op);
+    ++preventiveActions_;
+    if (observer != nullptr)
+        observer->onPreventiveAction(1.0, lastSeenCycle);
+}
+
+void
+MemoryController::performRfm(unsigned flat_bank, double weight)
+{
+    MaintOp op;
+    op.duration = spec_.timing.tRFM;
+    maintQ[flat_bank].push_back(op);
+    engine_.energy().addRfm();
+    ++preventiveActions_;
+    if (observer != nullptr)
+        observer->onPreventiveAction(weight, lastSeenCycle);
+}
+
+void
+MemoryController::performAlertBackoff(unsigned rfms, double weight)
+{
+    // The back-off blocks the whole device while the DRAM performs its
+    // internal preventive refreshes (JEDEC PRAC ABO protocol).
+    Cycle duration = spec_.timing.tRFM * rfms;
+    for (unsigned r = 0; r < spec_.org.ranks; ++r) {
+        engine_.blockRank(r, lastSeenCycle, duration);
+        for (unsigned i = 0; i < rfms; ++i)
+            engine_.energy().addRfm();
+    }
+    ++preventiveActions_;
+    if (observer != nullptr)
+        observer->onPreventiveAction(weight, lastSeenCycle);
+}
+
+void
+MemoryController::performTrackerAccess(unsigned flat_bank, Cycle duration,
+                                       double weight)
+{
+    MaintOp op;
+    op.duration = duration;
+    maintQ[flat_bank].push_back(op);
+    ++preventiveActions_;
+    if (observer != nullptr)
+        observer->onPreventiveAction(weight, lastSeenCycle);
+}
+
+void
+MemoryController::notifyRowProtected(unsigned flat_bank, unsigned row)
+{
+    if (onRowProtected)
+        onRowProtected(flat_bank, row);
+}
+
+void
+MemoryController::creditDirectScore(ThreadId thread, double amount)
+{
+    if (observer != nullptr)
+        observer->onDirectScore(thread, amount, lastSeenCycle);
+}
+
+// --- Tick pipeline ----------------------------------------------------
+
+void
+MemoryController::processCompletions(Cycle now)
+{
+    while (!completions.empty() && completions.top().readyAt <= now) {
+        PendingCompletion done = completions.top();
+        completions.pop();
+        const Request req = pendingReads[done.index];
+        freePendingSlots.push_back(done.index);
+        if (onReadComplete)
+            onReadComplete(req, done.readyAt);
+    }
+}
+
+bool
+MemoryController::rankHasRefreshPending(unsigned rank, Cycle now) const
+{
+    return now >= nextRefAt[rank];
+}
+
+bool
+MemoryController::serviceRefresh(Cycle now)
+{
+    for (unsigned rank = 0; rank < spec_.org.ranks; ++rank) {
+        if (!rankHasRefreshPending(rank, now))
+            continue;
+        if (engine_.rankQuiesced(rank, now)) {
+            engine_.issueRefresh(rank, now);
+            useCommandSlot(now);
+            nextRefAt[rank] += spec_.timing.tREFI;
+
+            unsigned sweep_rows = std::max(
+                1u, spec_.org.rowsPerBank / config_.refsPerSweep);
+            unsigned start = refSweepPos[rank];
+            refSweepPos[rank] =
+                (start + sweep_rows) % spec_.org.rowsPerBank;
+            if (onPeriodicRefresh)
+                onPeriodicRefresh(rank, start, sweep_rows);
+            if (mitigation != nullptr)
+                mitigation->onPeriodicRefresh(rank, start, sweep_rows, now);
+            return true;
+        }
+        // Quiesce: precharge open banks of this rank, oldest first.
+        unsigned base = rank * spec_.org.banksPerRank();
+        for (unsigned i = 0; i < spec_.org.banksPerRank(); ++i) {
+            unsigned fb = base + i;
+            if (engine_.bank(fb).open &&
+                engine_.canIssue(DramCommand::kPre, fb, now)) {
+                engine_.issuePre(fb, now);
+                hitStreak[fb] = 0;
+                useCommandSlot(now);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::serviceMaintenance(Cycle now)
+{
+    for (unsigned fb = 0; fb < maintQ.size(); ++fb) {
+        if (maintQ[fb].empty())
+            continue;
+        // Never start a blackout on a rank that is quiescing for REF;
+        // otherwise a stream of preventive actions could starve refresh.
+        if (rankHasRefreshPending(engine_.rankOf(fb), now))
+            continue;
+        const BankState &bank = engine_.bank(fb);
+        if (bank.open) {
+            if (engine_.canIssue(DramCommand::kPre, fb, now)) {
+                engine_.issuePre(fb, now);
+                hitStreak[fb] = 0;
+                useCommandSlot(now);
+                return true;
+            }
+            continue;
+        }
+        if (now < bank.blockedUntil)
+            continue;
+        MaintOp op = maintQ[fb].front();
+        maintQ[fb].pop_front();
+        engine_.blockBank(fb, now, op.duration);
+        if (op.isMigration)
+            engine_.energy().addMigration();
+        else if (op.victimRows > 0)
+            engine_.energy().addVictimRefresh(op.victimRows);
+        if (op.protectedRow >= 0)
+            notifyRowProtected(fb, static_cast<unsigned>(op.protectedRow));
+        useCommandSlot(now);
+        return true;
+    }
+    return false;
+}
+
+void
+MemoryController::issueDemandAct(const Request &req, Cycle now)
+{
+    engine_.issueAct(req.flatBank, req.da.row, now);
+    hitStreak[req.flatBank] = 0;
+    ++demandActs_;
+    if (onDemandAct)
+        onDemandAct(req.flatBank, req.da.row, req.thread, now);
+    if (observer != nullptr)
+        observer->onDemandActivate(req.thread, req.flatBank, now);
+    if (mitigation != nullptr)
+        mitigation->onActivate(req.flatBank, req.da.row, req.thread, now);
+}
+
+bool
+MemoryController::tryIssueForQueue(std::deque<Request> &queue, bool is_read,
+                                   Cycle now)
+{
+    DramCommand col_cmd = is_read ? DramCommand::kRead : DramCommand::kWrite;
+
+    // Pass 1: oldest row-hit request whose bank's hit streak is under the
+    // cap (FR-FCFS+Cap: row hits first, but no more than `cap` younger
+    // hits may bypass an older row-conflict request to the same bank).
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Request &req = queue[i];
+        unsigned fb = req.flatBank;
+        const BankState &bank = engine_.bank(fb);
+        if (!bank.open || bank.openRow != req.da.row)
+            continue;
+        if (!maintQ[fb].empty())
+            continue;
+        if (rankHasRefreshPending(engine_.rankOf(fb), now))
+            continue;
+        if (!engine_.canIssue(col_cmd, fb, now))
+            continue;
+
+        // Does an older row-conflict request to this bank wait?
+        bool older_conflict = false;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (queue[j].flatBank == fb && queue[j].da.row != req.da.row) {
+                older_conflict = true;
+                break;
+            }
+        }
+        if (older_conflict && hitStreak[fb] >= config_.frfcfsCap)
+            continue;
+
+        if (is_read) {
+            Cycle ready = engine_.issueRead(fb, now);
+            std::uint64_t slot;
+            if (!freePendingSlots.empty()) {
+                slot = freePendingSlots.back();
+                freePendingSlots.pop_back();
+                pendingReads[slot] = req;
+            } else {
+                slot = pendingReads.size();
+                pendingReads.push_back(req);
+            }
+            completions.push(PendingCompletion{ready, slot});
+            ++readsServed_;
+        } else {
+            engine_.issueWrite(fb, now);
+            ++writesServed_;
+        }
+        if (older_conflict)
+            ++hitStreak[fb];
+        queue.erase(queue.begin() + static_cast<long>(i));
+        useCommandSlot(now);
+        return true;
+    }
+
+    // Pass 2: oldest request that needs an ACT or a PRE.
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Request &req = queue[i];
+        unsigned fb = req.flatBank;
+        const BankState &bank = engine_.bank(fb);
+        if (!maintQ[fb].empty())
+            continue;
+        if (rankHasRefreshPending(engine_.rankOf(fb), now))
+            continue;
+
+        if (!bank.open) {
+            if (!engine_.canIssue(DramCommand::kAct, fb, now))
+                continue;
+            if (mitigation != nullptr &&
+                mitigation->actReleaseCycle(fb, req.da.row, req.thread,
+                                            now) > now)
+                continue; // BlockHammer-style row delay.
+            issueDemandAct(req, now);
+            useCommandSlot(now);
+            return true;
+        }
+
+        if (bank.openRow != req.da.row) {
+            // Close the row only when no same-row hit is pending or the
+            // hit streak hit the reordering cap.
+            bool hit_pending = false;
+            for (const Request &other : queue) {
+                if (other.flatBank == fb && other.da.row == bank.openRow) {
+                    hit_pending = true;
+                    break;
+                }
+            }
+            if (hit_pending && hitStreak[fb] < config_.frfcfsCap)
+                continue;
+            if (!engine_.canIssue(DramCommand::kPre, fb, now))
+                continue;
+            engine_.issuePre(fb, now);
+            hitStreak[fb] = 0;
+            useCommandSlot(now);
+            return true;
+        }
+        // Open row matches but the column command was not legal yet.
+    }
+    return false;
+}
+
+bool
+MemoryController::serviceDemand(Cycle now)
+{
+    if (drainingWrites) {
+        if (writeQ.size() <= config_.wqLowWatermark)
+            drainingWrites = false;
+    } else if (writeQ.size() >= config_.wqHighWatermark ||
+               (readQ.empty() && !writeQ.empty())) {
+        drainingWrites = true;
+    }
+
+    if (drainingWrites && !writeQ.empty()) {
+        if (tryIssueForQueue(writeQ, false, now))
+            return true;
+        // Keep reads flowing if writes are timing-blocked.
+        return tryIssueForQueue(readQ, true, now);
+    }
+    if (tryIssueForQueue(readQ, true, now))
+        return true;
+    return !writeQ.empty() && tryIssueForQueue(writeQ, false, now);
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    lastSeenCycle = now;
+    processCompletions(now);
+    if (!commandSlotFree(now))
+        return;
+    if (serviceRefresh(now))
+        return;
+    if (serviceMaintenance(now))
+        return;
+    serviceDemand(now);
+}
+
+} // namespace bh

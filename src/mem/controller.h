@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Memory controller: request queues, FR-FCFS+Cap scheduling, periodic
+ * refresh, and the maintenance machinery behind RowHammer-preventive
+ * actions.
+ *
+ * Scheduling follows Table 1 of the paper: 64-entry read/write queues and
+ * FR-FCFS with a cap of 4 on column-over-row reordering (Mutlu &
+ * Moscibroda, MICRO'07). Writes drain in batches between watermarks.
+ * Preventive actions requested by the attached mitigation mechanism run as
+ * prioritized per-bank maintenance operations; each one notifies the
+ * attached action observer (BreakHammer) and the row-protection listener
+ * (the RowHammer oracle in tests).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/address.h"
+#include "dram/timing.h"
+#include "mem/request.h"
+#include "mitigation/mitigation.h"
+#include "stats/histogram.h"
+
+namespace bh {
+
+/** Controller configuration (defaults = Table 1). */
+struct McConfig
+{
+    unsigned readQueueSize = 64;
+    unsigned writeQueueSize = 64;
+    unsigned frfcfsCap = 4;  ///< Cap on column-over-row reordering.
+    unsigned wqHighWatermark = 48;
+    unsigned wqLowWatermark = 16;
+    /** Command-bus spacing in CPU cycles (~tCK at DDR5-4800). */
+    Cycle commandSpacing = 2;
+    /** Victim rows refreshed per preventive refresh (blast radius 1). */
+    unsigned victimRowsPerRefresh = 2;
+    /** AQUA row migration blackout in nanoseconds (row read + write). */
+    double migrationLatencyNs = 1300.0;
+    /** REF commands per full per-bank row sweep (JEDEC: 8192). */
+    unsigned refsPerSweep = 8192;
+};
+
+/** The memory controller for one channel. */
+class MemoryController : public IMitigationHost
+{
+  public:
+    MemoryController(const DramSpec &spec, const AddressMapper &mapper,
+                     const McConfig &config);
+
+    /** Space in the read queue? */
+    bool
+    canEnqueueRead() const
+    {
+        return readQ.size() < config_.readQueueSize;
+    }
+
+    /** Space in the write queue? */
+    bool
+    canEnqueueWrite() const
+    {
+        return writeQ.size() < config_.writeQueueSize;
+    }
+
+    /** Enqueue a read; @pre canEnqueueRead(). */
+    void enqueueRead(Request req, Cycle now);
+
+    /** Enqueue a write; @pre canEnqueueWrite(). */
+    void enqueueWrite(Request req, Cycle now);
+
+    /** Advance one CPU cycle. */
+    void tick(Cycle now);
+
+    /** Fires when read data is fully returned. */
+    std::function<void(const Request &, Cycle)> onReadComplete;
+
+    /** Fires on every demand activation: (bank, row, thread, cycle). */
+    std::function<void(unsigned, unsigned, ThreadId, Cycle)> onDemandAct;
+
+    /** Fires when a row's victims were refreshed (oracle reset). */
+    std::function<void(unsigned, unsigned)> onRowProtected;
+
+    /**
+     * Fires when a periodic REF retires: (rank, sweep_start, sweep_rows).
+     * The per-bank rows [sweep_start, sweep_start + sweep_rows) of the rank
+     * were refreshed by this REF.
+     */
+    std::function<void(unsigned, unsigned, unsigned)> onPeriodicRefresh;
+
+    void setMitigation(IMitigation *m);
+    void setObserver(IActionObserver *o) { observer = o; }
+
+    // --- IMitigationHost ---
+    void performVictimRefresh(unsigned flat_bank, unsigned row,
+                              double weight) override;
+    void performMigration(unsigned flat_bank, unsigned row) override;
+    void performRfm(unsigned flat_bank, double weight) override;
+    void performAlertBackoff(unsigned rfms, double weight) override;
+    void performTrackerAccess(unsigned flat_bank, Cycle duration,
+                              double weight) override;
+    void notifyRowProtected(unsigned flat_bank, unsigned row) override;
+    void creditDirectScore(ThreadId thread, double amount) override;
+
+    // --- Introspection ---
+    TimingEngine &engine() { return engine_; }
+    const TimingEngine &engine() const { return engine_; }
+
+    /** Total preventive actions performed (Fig 10's metric). */
+    std::uint64_t preventiveActions() const { return preventiveActions_; }
+
+    std::uint64_t demandActs() const { return demandActs_; }
+    std::uint64_t readsServed() const { return readsServed_; }
+    std::uint64_t writesServed() const { return writesServed_; }
+    std::size_t readQueueDepth() const { return readQ.size(); }
+    std::size_t writeQueueDepth() const { return writeQ.size(); }
+
+  private:
+    /** One pending RowHammer-preventive maintenance operation. */
+    struct MaintOp
+    {
+        Cycle duration = 0;
+        unsigned victimRows = 0;   ///< Energy accounting.
+        bool isMigration = false;
+        long protectedRow = -1;    ///< Aggressor row to report, or -1.
+    };
+
+    struct PendingCompletion
+    {
+        Cycle readyAt;
+        std::uint64_t index; ///< Into pendingReads.
+        bool
+        operator>(const PendingCompletion &other) const
+        {
+            return readyAt > other.readyAt;
+        }
+    };
+
+    bool commandSlotFree(Cycle now) const { return now >= nextCommandAt; }
+    void useCommandSlot(Cycle now) { nextCommandAt = now + config_.commandSpacing; }
+
+    void processCompletions(Cycle now);
+    bool serviceRefresh(Cycle now);
+    bool serviceMaintenance(Cycle now);
+    bool serviceDemand(Cycle now);
+    bool tryIssueForQueue(std::deque<Request> &queue, bool is_read,
+                          Cycle now);
+    void issueDemandAct(const Request &req, Cycle now);
+    bool rankHasRefreshPending(unsigned rank, Cycle now) const;
+
+    DramSpec spec_;
+    const AddressMapper &mapper;
+    McConfig config_;
+    TimingEngine engine_;
+
+    std::deque<Request> readQ;
+    std::deque<Request> writeQ;
+    bool drainingWrites = false;
+
+    std::vector<std::deque<MaintOp>> maintQ; ///< Per flat bank.
+
+    // Read completions in flight.
+    std::vector<Request> pendingReads;
+    std::vector<std::uint64_t> freePendingSlots;
+    std::priority_queue<PendingCompletion,
+                        std::vector<PendingCompletion>,
+                        std::greater<PendingCompletion>>
+        completions;
+
+    // Refresh bookkeeping.
+    std::vector<Cycle> nextRefAt;     ///< Per rank.
+    std::vector<unsigned> refSweepPos; ///< Per rank, row sweep pointer.
+
+    // FR-FCFS cap state: consecutive row hits served per bank while an
+    // older row-conflict request waits.
+    std::vector<unsigned> hitStreak;
+
+    IMitigation *mitigation = nullptr;
+    IActionObserver *observer = nullptr;
+
+    Cycle nextCommandAt = 0;
+    Cycle lastSeenCycle = 0;
+
+    std::uint64_t preventiveActions_ = 0;
+    std::uint64_t demandActs_ = 0;
+    std::uint64_t readsServed_ = 0;
+    std::uint64_t writesServed_ = 0;
+};
+
+} // namespace bh

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Memory request record exchanged between the LLC/MSHR layer and the
+ * memory controller.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/address.h"
+
+namespace bh {
+
+/** One DRAM-bound request. */
+struct Request
+{
+    enum class Type
+    {
+        kRead,
+        kWrite,
+    };
+
+    Type type = Type::kRead;
+    Addr addr = 0;
+    DramAddress da;
+    unsigned flatBank = 0;
+    ThreadId thread = kInvalidThread;
+    Cycle enqueueCycle = 0;
+    /** Opaque id the requester uses to match completions. */
+    std::uint64_t token = 0;
+    /** True for cache-bypassing accesses (attacker clflush model). */
+    bool uncached = false;
+};
+
+} // namespace bh

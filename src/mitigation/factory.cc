@@ -1,0 +1,90 @@
+#include "mitigation/factory.h"
+
+#include "common/log.h"
+#include "mitigation/aqua.h"
+#include "mitigation/blockhammer.h"
+#include "mitigation/graphene.h"
+#include "mitigation/hydra.h"
+#include "mitigation/para.h"
+#include "mitigation/prac.h"
+#include "mitigation/rega.h"
+#include "mitigation/rfm.h"
+#include "mitigation/twice.h"
+
+namespace bh {
+
+const char *
+mitigationName(MitigationType type)
+{
+    switch (type) {
+      case MitigationType::kNone: return "NoDefense";
+      case MitigationType::kPara: return "PARA";
+      case MitigationType::kGraphene: return "Graphene";
+      case MitigationType::kHydra: return "Hydra";
+      case MitigationType::kTwice: return "TWiCe";
+      case MitigationType::kAqua: return "AQUA";
+      case MitigationType::kRega: return "REGA";
+      case MitigationType::kRfm: return "RFM";
+      case MitigationType::kPrac: return "PRAC";
+      case MitigationType::kBlockHammer: return "BlockHammer";
+    }
+    return "?";
+}
+
+const std::vector<MitigationType> &
+pairedMitigations()
+{
+    static const std::vector<MitigationType> list = {
+        MitigationType::kPara,  MitigationType::kGraphene,
+        MitigationType::kHydra, MitigationType::kTwice,
+        MitigationType::kAqua,  MitigationType::kRega,
+        MitigationType::kRfm,   MitigationType::kPrac,
+    };
+    return list;
+}
+
+void
+applyTimingSideEffects(MitigationType type, unsigned n_rh, DramSpec *spec)
+{
+    switch (type) {
+      case MitigationType::kRega:
+        regaApplyTiming(spec, n_rh);
+        break;
+      case MitigationType::kPrac:
+        pracApplyTiming(spec);
+        break;
+      default:
+        break;
+    }
+}
+
+std::unique_ptr<IMitigation>
+createMitigation(MitigationType type, unsigned n_rh, const DramSpec &spec,
+                 unsigned num_threads)
+{
+    switch (type) {
+      case MitigationType::kNone:
+        return nullptr;
+      case MitigationType::kPara:
+        return std::make_unique<Para>(n_rh);
+      case MitigationType::kGraphene:
+        return std::make_unique<Graphene>(n_rh, spec);
+      case MitigationType::kHydra:
+        return std::make_unique<Hydra>(n_rh, spec);
+      case MitigationType::kTwice:
+        return std::make_unique<Twice>(n_rh, spec);
+      case MitigationType::kAqua:
+        return std::make_unique<Aqua>(n_rh, spec);
+      case MitigationType::kRega:
+        return std::make_unique<Rega>(n_rh, num_threads);
+      case MitigationType::kRfm:
+        return std::make_unique<Rfm>(n_rh, spec);
+      case MitigationType::kPrac:
+        return std::make_unique<Prac>(n_rh, spec);
+      case MitigationType::kBlockHammer:
+        return std::make_unique<BlockHammer>(n_rh, spec, num_threads);
+    }
+    BH_PANIC("unhandled mitigation type");
+}
+
+} // namespace bh

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Construction and configuration of RowHammer mitigation mechanisms.
+ *
+ * Central place where each mechanism is instantiated for a given RowHammer
+ * threshold (N_RH) following the scaling rules documented per mechanism,
+ * and where device-timing side effects (REGA's stretched tRAS, PRAC's
+ * longer precharge) are applied to the DRAM spec before the system is
+ * built.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/spec.h"
+#include "mitigation/mitigation.h"
+
+namespace bh {
+
+/** The mechanisms the paper evaluates, plus the no-defense baseline. */
+enum class MitigationType
+{
+    kNone,
+    kPara,
+    kGraphene,
+    kHydra,
+    kTwice,
+    kAqua,
+    kRega,
+    kRfm,
+    kPrac,
+    kBlockHammer,
+};
+
+/** Display name matching the paper's figures. */
+const char *mitigationName(MitigationType type);
+
+/** The eight mechanisms BreakHammer is paired with (Figs 6-17). */
+const std::vector<MitigationType> &pairedMitigations();
+
+/**
+ * Apply device-timing side effects of @p type at threshold @p n_rh to
+ * @p spec (REGA and PRAC modify DRAM timing; others leave it unchanged).
+ */
+void applyTimingSideEffects(MitigationType type, unsigned n_rh,
+                            DramSpec *spec);
+
+/**
+ * Instantiate a mechanism.
+ * @param spec Device spec *after* applyTimingSideEffects.
+ * @param num_threads Hardware thread count (REGA/BlockHammer attribution).
+ * @return nullptr for MitigationType::kNone.
+ */
+std::unique_ptr<IMitigation> createMitigation(MitigationType type,
+                                              unsigned n_rh,
+                                              const DramSpec &spec,
+                                              unsigned num_threads);
+
+} // namespace bh

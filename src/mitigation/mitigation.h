@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Interfaces connecting RowHammer mitigation mechanisms, the memory
+ * controller, and BreakHammer.
+ *
+ * A mitigation mechanism observes demand row activations via `onActivate`
+ * and requests RowHammer-preventive actions through the `IMitigationHost`
+ * (implemented by the memory controller): victim-row refreshes, row
+ * migrations (AQUA), RFM commands, or an alert back-off (PRAC). The host
+ * executes the action as a bank/rank maintenance blackout, accounts its
+ * energy, informs the RowHammer oracle that the aggressor's victims were
+ * refreshed, and notifies the attached `IActionObserver` (BreakHammer) so
+ * it can attribute RowHammer-preventive scores (§4.1).
+ */
+#pragma once
+
+#include "common/types.h"
+
+namespace bh {
+
+/** Sink for the action stream BreakHammer consumes (§4.1). */
+class IActionObserver
+{
+  public:
+    virtual ~IActionObserver() = default;
+
+    /** A demand activation by @p thread (attribution bookkeeping). */
+    virtual void onDemandActivate(ThreadId thread, unsigned flat_bank,
+                                  Cycle now) = 0;
+
+    /**
+     * A RowHammer-preventive action of cost @p weight was performed;
+     * the observer attributes scores proportionally to per-thread
+     * activation counts since the previous action.
+     */
+    virtual void onPreventiveAction(double weight, Cycle now) = 0;
+
+    /**
+     * Direct per-thread score credit (REGA's attribution: one point per
+     * REGA_T activations performed by the thread, §4.1).
+     */
+    virtual void onDirectScore(ThreadId thread, double amount,
+                               Cycle now) = 0;
+};
+
+/** Services the memory controller offers to a mitigation mechanism. */
+class IMitigationHost
+{
+  public:
+    virtual ~IMitigationHost() = default;
+
+    /**
+     * Preventively refresh the victims of @p row in @p flat_bank.
+     * Blocks the bank for blast-radius * 2 row cycles, resets the
+     * aggressor's hammer progress, and notifies the observer.
+     * @param weight Observer score weight of this action.
+     */
+    virtual void performVictimRefresh(unsigned flat_bank, unsigned row,
+                                      double weight) = 0;
+
+    /** AQUA row migration: long bank blackout; resets hammer progress. */
+    virtual void performMigration(unsigned flat_bank, unsigned row) = 0;
+
+    /**
+     * Issue an RFM to @p flat_bank (tRFM blackout). The caller (the
+     * DRAM-side model) decides which rows get protected and reports them
+     * via notifyRowProtected.
+     */
+    virtual void performRfm(unsigned flat_bank, double weight) = 0;
+
+    /** PRAC alert back-off: rank-wide blackout of @p rfms RFM windows. */
+    virtual void performAlertBackoff(unsigned rfms, double weight) = 0;
+
+    /**
+     * Auxiliary tracker work (e.g., Hydra's in-DRAM row-count-table
+     * access): short bank blackout + observer notification, but no row
+     * protection.
+     */
+    virtual void performTrackerAccess(unsigned flat_bank, Cycle duration,
+                                      double weight) = 0;
+
+    /** Report that @p row's victims were refreshed (oracle reset). */
+    virtual void notifyRowProtected(unsigned flat_bank, unsigned row) = 0;
+
+    /** REGA-style direct score credit, forwarded to the observer. */
+    virtual void creditDirectScore(ThreadId thread, double amount) = 0;
+};
+
+/** A RowHammer mitigation mechanism. */
+class IMitigation
+{
+  public:
+    virtual ~IMitigation() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Called after every demand activation (the trigger algorithm). */
+    virtual void onActivate(unsigned flat_bank, unsigned row,
+                            ThreadId thread, Cycle now) = 0;
+
+    /**
+     * Called when a periodic REF retires on @p rank; @p sweep_start /
+     * @p sweep_rows give the per-bank row range this REF refreshed
+     * (mechanisms reset tracking state for refreshed rows).
+     */
+    virtual void
+    onPeriodicRefresh(unsigned rank, unsigned sweep_start,
+                      unsigned sweep_rows, Cycle now)
+    {
+        (void)rank;
+        (void)sweep_start;
+        (void)sweep_rows;
+        (void)now;
+    }
+
+    /**
+     * Earliest cycle a demand ACT to (@p flat_bank, @p row) may issue.
+     * BlockHammer delays blacklisted rows here; everything else returns
+     * @p now.
+     */
+    virtual Cycle
+    actReleaseCycle(unsigned flat_bank, unsigned row, ThreadId thread,
+                    Cycle now)
+    {
+        (void)flat_bank;
+        (void)row;
+        (void)thread;
+        return now;
+    }
+
+    /** Attach the host before simulation starts. */
+    void setHost(IMitigationHost *h) { host = h; }
+
+  protected:
+    IMitigationHost *host = nullptr;
+};
+
+} // namespace bh

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Experiment runner shared by the benchmark harness, the examples, and the
+ * integration tests.
+ *
+ * Wraps System construction for a (mix, mechanism, N_RH, BreakHammer on/
+ * off) tuple, caches per-application solo IPCs (the weighted-speedup
+ * denominators), and computes the metrics each figure reports: weighted
+ * speedup of benign applications, unfairness (max slowdown), preventive
+ * action counts, DRAM energy, and latency percentiles. Scale knobs come
+ * from the environment: BH_INSTS (instructions per benign core), BH_MIXES
+ * (mixes per class), BH_FULL (full N_RH sweep).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/mixes.h"
+#include "sim/system.h"
+
+namespace bh {
+
+/** One experiment point. */
+struct ExperimentConfig
+{
+    MixSpec mix;
+    MitigationType mechanism = MitigationType::kNone;
+    unsigned nRh = 1024;
+    bool breakHammer = false;
+    /** window == 0 (the default) selects scaledBreakHammerConfig(). */
+    BreakHammerConfig bh = BreakHammerConfig{.window = 0};
+    std::uint64_t instructions = 0; ///< 0 = use the BH_INSTS default.
+    bool oracle = false;
+    std::uint64_t seed = 1;
+};
+
+/** Metrics of one run, alongside the raw result. */
+struct ExperimentResult
+{
+    RunResult raw;
+    double weightedSpeedup = 0.0;
+    double maxSlowdown = 0.0;
+    double energyNj = 0.0;
+    std::uint64_t preventiveActions = 0;
+};
+
+/** Default per-benign-core instruction count (BH_INSTS, default 150k). */
+std::uint64_t defaultInstructions();
+
+/** Mixes per class (BH_MIXES, default 2; the paper uses 15). */
+unsigned mixesPerClass();
+
+/** N_RH sweep: {4096, 1024, 64} by default; full 4K..64 with BH_FULL=1. */
+std::vector<unsigned> nrhSweep();
+
+/** Throttling window scaled to the simulated horizon (see .cc). */
+BreakHammerConfig scaledBreakHammerConfig(std::uint64_t instructions);
+
+/** Solo IPC of a catalog app (cached; no mitigation, core alone). */
+double soloIpc(const std::string &app_name, std::uint64_t instructions);
+
+/** Run one experiment point and compute its metrics. */
+ExperimentResult runExperiment(const ExperimentConfig &config);
+
+} // namespace bh

@@ -1,0 +1,75 @@
+#include "sim/mixes.h"
+
+#include "common/log.h"
+#include "trace/benign.h"
+
+namespace bh {
+
+const std::vector<std::string> &
+benignMixPatterns()
+{
+    static const std::vector<std::string> patterns = {
+        "HHHH", "HHMM", "MMMM", "HHLL", "MMLL", "LLLL",
+    };
+    return patterns;
+}
+
+const std::vector<std::string> &
+attackMixPatterns()
+{
+    static const std::vector<std::string> patterns = {
+        "HHHA", "HHMA", "MMMA", "HLLA", "MMLA", "LLLA",
+    };
+    return patterns;
+}
+
+MixSpec
+makeMix(const std::string &pattern, unsigned index)
+{
+    MixSpec mix;
+    mix.pattern = pattern;
+    mix.name = pattern + "#" + std::to_string(index);
+
+    // Per-tier rotation: distinct slots of the same tier get distinct
+    // apps; distinct indices shift the rotation.
+    unsigned tier_uses[3] = {0, 0, 0};
+
+    for (char c : pattern) {
+        WorkloadSlot slot;
+        if (c == 'A') {
+            slot.kind = WorkloadSlot::Kind::kAttacker;
+            slot.attacker = AttackerConfig{};
+            slot.attacker.numAggressors = 4 + (index % 3) * 2;
+        } else {
+            IntensityTier tier;
+            unsigned tier_idx;
+            switch (c) {
+              case 'H': tier = IntensityTier::kHigh; tier_idx = 0; break;
+              case 'M': tier = IntensityTier::kMedium; tier_idx = 1; break;
+              case 'L': tier = IntensityTier::kLow; tier_idx = 2; break;
+              default: BH_FATAL("unknown mix pattern character");
+            }
+            std::vector<AppProfile> apps = appsInTier(tier);
+            BH_ASSERT(!apps.empty(), "empty application tier");
+            unsigned pick = (index + tier_uses[tier_idx]) %
+                            static_cast<unsigned>(apps.size());
+            ++tier_uses[tier_idx];
+            slot.kind = WorkloadSlot::Kind::kBenign;
+            slot.appName = apps[pick].name;
+        }
+        mix.slots.push_back(slot);
+    }
+    return mix;
+}
+
+std::vector<std::string>
+benignApps(const MixSpec &mix)
+{
+    std::vector<std::string> out;
+    for (const WorkloadSlot &slot : mix.slots)
+        if (slot.kind == WorkloadSlot::Kind::kBenign)
+            out.push_back(slot.appName);
+    return out;
+}
+
+} // namespace bh

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Workload mix construction (§7 of the paper).
+ *
+ * The paper builds six benign four-core mix classes (HHHH, HHMM, MMMM,
+ * HHLL, MMLL, LLLL) and six attack classes where the last slot runs the
+ * attacker (HHHA, HHMA, MMMA, HLLA, MMLA, LLLA), 15 workloads per class.
+ * Mixes are constructed deterministically from a class pattern and an
+ * index that rotates through the application catalog.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace bh {
+
+/** A named four-core workload mix. */
+struct MixSpec
+{
+    std::string name;        ///< e.g. "HHMA#3".
+    std::string pattern;     ///< e.g. "HHMA".
+    std::vector<WorkloadSlot> slots;
+};
+
+/** The six benign mix classes. */
+const std::vector<std::string> &benignMixPatterns();
+
+/** The six attack mix classes (A = attacker slot). */
+const std::vector<std::string> &attackMixPatterns();
+
+/**
+ * Build mix @p index of class @p pattern. Each character selects the tier
+ * of a slot: H/M/L pick catalog apps (rotating with @p index), A installs
+ * the many-sided hammer attacker.
+ */
+MixSpec makeMix(const std::string &pattern, unsigned index);
+
+/** All benign app names used by a mix (slot order, attackers skipped). */
+std::vector<std::string> benignApps(const MixSpec &mix);
+
+} // namespace bh

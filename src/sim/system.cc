@@ -1,0 +1,306 @@
+#include "sim/system.h"
+
+#include "common/log.h"
+#include "mitigation/blockhammer.h"
+
+namespace bh {
+
+namespace {
+
+/** MSHR key space for uncached requests (disjoint from line addresses). */
+constexpr Addr kUncachedKeyBase = 1ull << 63;
+
+Addr
+lineOf(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kCacheLineBytes - 1);
+}
+
+} // namespace
+
+std::vector<double>
+RunResult::benignIpcs() const
+{
+    std::vector<double> out;
+    for (const CoreResult &c : cores)
+        if (c.benign)
+            out.push_back(c.ipc);
+    return out;
+}
+
+System::System(const SystemConfig &config,
+               const std::vector<WorkloadSlot> &slots)
+    : config_(config),
+      mapper(config.spec.org),
+      llc(config.llc),
+      mshr(config.mshrEntries, config.numCores)
+{
+    BH_ASSERT(slots.size() == config.numCores,
+              "one workload slot per core required");
+
+    mc = std::make_unique<MemoryController>(config_.spec, mapper,
+                                            config_.mc);
+
+    mitigation = createMitigation(config_.mitigation, config_.nRh,
+                                  config_.spec, config_.numCores);
+    if (mitigation != nullptr)
+        mc->setMitigation(mitigation.get());
+
+    if (config_.breakHammer) {
+        bh = std::make_unique<BreakHammer>(config_.numCores, config_.bh,
+                                           &mshr);
+        mc->setObserver(bh.get());
+    }
+
+    // BlockHammer's AttackThrottler shares the MSHR throttle point.
+    if (auto *bhm = dynamic_cast<BlockHammer *>(mitigation.get()))
+        bhm->setThrottleTarget(&mshr);
+
+    if (config_.enableOracle) {
+        oracle = std::make_unique<HammerOracle>(config_.spec.org,
+                                                config_.nRh);
+        mc->onRowProtected = [this](unsigned bank, unsigned row) {
+            oracle->onRowProtected(bank, row);
+        };
+    }
+    if (config_.enableCensus)
+        census = std::make_unique<RowCensus>(msToCycles(64.0));
+
+    mc->onDemandAct = [this](unsigned bank, unsigned row, ThreadId thread,
+                             Cycle cycle) {
+        (void)thread;
+        if (oracle)
+            oracle->onActivate(bank, row);
+        if (census)
+            census->recordAct(bank, row, cycle);
+    };
+    mc->onPeriodicRefresh = [this](unsigned rank, unsigned start,
+                                   unsigned rows) {
+        if (oracle)
+            oracle->onRefreshSweep(rank, start, rows);
+    };
+    mc->onReadComplete = [this](const Request &req, Cycle done) {
+        handleReadComplete(req, done);
+    };
+
+    // Each core slot owns a private row region so apps never share rows.
+    unsigned region = config_.spec.org.rowsPerBank / (config_.numCores * 2);
+    benignSlot.resize(config_.numCores);
+    for (unsigned i = 0; i < config_.numCores; ++i) {
+        const WorkloadSlot &slot = slots[i];
+        std::uint64_t seed = config_.seed * 0x10001 + i * 0x9e3779b9;
+        if (slot.kind == WorkloadSlot::Kind::kBenign) {
+            benignSlot[i] = true;
+            traces.push_back(std::make_unique<BenignTrace>(
+                findApp(slot.appName), mapper, i * region, region, seed));
+        } else {
+            benignSlot[i] = false;
+            AttackerConfig atk = slot.attacker;
+            if (atk.rowBase == 0)
+                atk.rowBase = i * region + 16;
+            traces.push_back(
+                std::make_unique<AttackerTrace>(atk, mapper, seed));
+        }
+        cores.push_back(std::make_unique<Core>(
+            i, traces.back().get(), this, config_.core, benignSlot[i]));
+    }
+}
+
+System::~System() = default;
+
+AccessOutcome
+System::load(ThreadId thread, Addr addr, bool uncached, std::uint64_t token)
+{
+    if (uncached) {
+        if (!mshr.canAllocate(thread)) {
+            if (mshr.totalInflight() < mshr.fullQuota())
+                mshr.noteQuotaRejection();
+            return AccessOutcome::kRejected;
+        }
+        if (!mc->canEnqueueRead())
+            return AccessOutcome::kRejected;
+        Addr key = kUncachedKeyBase + uncachedKeyCounter++;
+        mshr.allocate(key, thread, false);
+        mshr.merge(key, MshrWaiter{thread, token, true}, false);
+        Request req;
+        req.type = Request::Type::kRead;
+        req.addr = addr;
+        req.thread = thread;
+        req.token = key;
+        req.uncached = true;
+        mc->enqueueRead(req, now);
+        return AccessOutcome::kQueued;
+    }
+
+    Addr line = lineOf(addr);
+    if (llc.access(line, false))
+        return AccessOutcome::kHit;
+
+    if (mshr.has(line)) {
+        if (config_.bluntThrottle &&
+            mshr.inflightOf(thread) >= mshr.quota(thread)) {
+            mshr.noteQuotaRejection();
+            return AccessOutcome::kRejected;
+        }
+        mshr.merge(line, MshrWaiter{thread, token, true}, false);
+        return AccessOutcome::kQueued;
+    }
+    if (!mshr.canAllocate(thread)) {
+        if (mshr.totalInflight() < mshr.fullQuota())
+            mshr.noteQuotaRejection();
+        return AccessOutcome::kRejected;
+    }
+    if (!mc->canEnqueueRead() || !mc->canEnqueueWrite())
+        return AccessOutcome::kRejected; // Room for a worst-case writeback.
+
+    Llc::Victim victim;
+    llc.allocate(line, false, &victim);
+    if (victim.dirtyWriteback) {
+        Request wb;
+        wb.type = Request::Type::kWrite;
+        wb.addr = victim.writebackLine;
+        wb.thread = thread;
+        mc->enqueueWrite(wb, now);
+    }
+    mshr.allocate(line, thread, false);
+    mshr.merge(line, MshrWaiter{thread, token, true}, false);
+
+    Request req;
+    req.type = Request::Type::kRead;
+    req.addr = line;
+    req.thread = thread;
+    req.token = line;
+    mc->enqueueRead(req, now);
+    return AccessOutcome::kQueued;
+}
+
+AccessOutcome
+System::store(ThreadId thread, Addr addr, bool uncached)
+{
+    if (uncached) {
+        if (!mc->canEnqueueWrite())
+            return AccessOutcome::kRejected;
+        Request req;
+        req.type = Request::Type::kWrite;
+        req.addr = addr;
+        req.thread = thread;
+        req.uncached = true;
+        mc->enqueueWrite(req, now);
+        return AccessOutcome::kHit;
+    }
+
+    Addr line = lineOf(addr);
+    if (llc.access(line, true))
+        return AccessOutcome::kHit;
+
+    if (mshr.has(line)) {
+        mshr.merge(line, MshrWaiter{thread, 0, false}, true);
+        return AccessOutcome::kHit;
+    }
+    if (!mshr.canAllocate(thread)) {
+        if (mshr.totalInflight() < mshr.fullQuota())
+            mshr.noteQuotaRejection();
+        return AccessOutcome::kRejected;
+    }
+    if (!mc->canEnqueueRead() || !mc->canEnqueueWrite())
+        return AccessOutcome::kRejected;
+
+    Llc::Victim victim;
+    llc.allocate(line, true, &victim);
+    if (victim.dirtyWriteback) {
+        Request wb;
+        wb.type = Request::Type::kWrite;
+        wb.addr = victim.writebackLine;
+        wb.thread = thread;
+        mc->enqueueWrite(wb, now);
+    }
+    mshr.allocate(line, thread, true);
+
+    Request req;
+    req.type = Request::Type::kRead; // Write-allocate fill.
+    req.addr = line;
+    req.thread = thread;
+    req.token = line;
+    mc->enqueueRead(req, now);
+    return AccessOutcome::kHit;
+}
+
+void
+System::handleReadComplete(const Request &req, Cycle done_cycle)
+{
+    if (req.thread < cores.size() && benignSlot[req.thread])
+        latencyHist.record(cyclesToNs(done_cycle - req.enqueueCycle));
+
+    std::vector<MshrWaiter> waiters;
+    bool any_store = mshr.release(req.token, &waiters);
+    if (!req.uncached && any_store)
+        llc.setDirty(lineOf(req.addr));
+    for (const MshrWaiter &w : waiters)
+        cores[w.thread]->completeLoad(w.token, done_cycle);
+}
+
+RunResult
+System::run(std::uint64_t benign_target, Cycle max_cycles)
+{
+    for (auto &core : cores)
+        if (core->benign())
+            core->setTarget(benign_target);
+
+    now = 0;
+    while (now < max_cycles) {
+        bool all_done = true;
+        for (auto &core : cores) {
+            core->tick(now);
+            if (core->benign() && !core->reachedTarget())
+                all_done = false;
+        }
+        mc->tick(now);
+        if (bh && (now & 0xfff) == 0)
+            bh->rollWindows(now);
+        if (all_done)
+            break;
+        ++now;
+    }
+
+    RunResult result;
+    result.cycles = now;
+    result.hitCycleCap = now >= max_cycles;
+    const EnergyAccounting &energy = mc->engine().energy();
+    result.energyNj = energy.totalNj(now, config_.spec.org.ranks);
+    result.preventiveEnergyNj = energy.preventiveNj();
+    result.preventiveActions = mc->preventiveActions();
+    result.demandActs = mc->demandActs();
+    result.suspectMarks = bh ? bh->suspectMarks() : 0;
+    result.quotaRejections = mshr.quotaRejections();
+    result.oracleViolations = oracle ? oracle->violations() : 0;
+    result.oracleMaxCount = oracle ? oracle->maxCount() : 0;
+    result.benignReadLatencyNs = latencyHist;
+    if (census) {
+        census->flush(now);
+        result.censusWindows = census->windows();
+    }
+
+    for (unsigned i = 0; i < cores.size(); ++i) {
+        CoreResult cr;
+        cr.name = traces[i]->name();
+        cr.benign = cores[i]->benign();
+        cr.retired = cores[i]->retired();
+        cr.finishCycle = cores[i]->finishCycle();
+        cr.rejectStalls = cores[i]->rejectStallCycles();
+        if (cr.benign && cr.finishCycle > 0) {
+            cr.ipc = static_cast<double>(benign_target) /
+                     static_cast<double>(cr.finishCycle);
+        } else if (cr.benign) {
+            // Hit the cycle cap before the target: report progress IPC.
+            cr.ipc = static_cast<double>(cr.retired) /
+                     static_cast<double>(now ? now : 1);
+        } else {
+            cr.ipc = static_cast<double>(cr.retired) /
+                     static_cast<double>(now ? now : 1);
+        }
+        result.cores.push_back(cr);
+    }
+    return result;
+}
+
+} // namespace bh

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The full simulated system: cores, shared LLC + MSHRs, memory controller,
+ * mitigation mechanism, BreakHammer, and the instrumentation the paper's
+ * evaluation reports on.
+ *
+ * The System implements ICoreMemory and performs the LLC/MSHR handshake:
+ * hits complete at the LLC latency, primary misses allocate an MSHR (gated
+ * by the owner thread's BreakHammer quota) and enqueue a DRAM read,
+ * secondary misses merge for free, uncached accesses (attacker traffic)
+ * bypass the LLC but still consume MSHRs — the resource BreakHammer
+ * throttles (§4.3).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "breakhammer/breakhammer.h"
+#include "cache/llc.h"
+#include "cache/mshr.h"
+#include "core/core.h"
+#include "dram/address.h"
+#include "dram/row_census.h"
+#include "dram/spec.h"
+#include "mem/controller.h"
+#include "mitigation/factory.h"
+#include "sim/oracle.h"
+#include "stats/histogram.h"
+#include "trace/attacker.h"
+#include "trace/benign.h"
+
+namespace bh {
+
+/** One core slot of a workload mix. */
+struct WorkloadSlot
+{
+    enum class Kind
+    {
+        kBenign,
+        kAttacker,
+    };
+
+    Kind kind = Kind::kBenign;
+    std::string appName;     ///< Catalog profile (benign slots).
+    AttackerConfig attacker; ///< Attack pattern (attacker slots).
+};
+
+/** Complete system configuration. */
+struct SystemConfig
+{
+    unsigned numCores = 4;
+    DramSpec spec = DramSpec::ddr5();
+    LlcConfig llc;
+    unsigned mshrEntries = 64;
+    CoreConfig core;
+    McConfig mc;
+    MitigationType mitigation = MitigationType::kNone;
+    unsigned nRh = 1024;
+    bool breakHammer = false;
+    BreakHammerConfig bh;
+    /**
+     * Ablation knob (§4.3 / §4.4 discussion): when set, a throttled
+     * thread's secondary misses are rejected too, instead of merging into
+     * in-flight MSHRs — the "blunt" throttle point the paper's design
+     * deliberately avoids.
+     */
+    bool bluntThrottle = false;
+    bool enableOracle = false;
+    bool enableCensus = false;
+    std::uint64_t seed = 1;
+};
+
+/** Per-core outcome of a run. */
+struct CoreResult
+{
+    std::string name;
+    bool benign = true;
+    std::uint64_t retired = 0;
+    Cycle finishCycle = 0; ///< When the instruction target was reached.
+    double ipc = 0.0;
+    std::uint64_t rejectStalls = 0;
+};
+
+/** Outcome of one simulation. */
+struct RunResult
+{
+    std::vector<CoreResult> cores;
+    Cycle cycles = 0;
+    double energyNj = 0.0;
+    double preventiveEnergyNj = 0.0;
+    std::uint64_t preventiveActions = 0;
+    std::uint64_t demandActs = 0;
+    std::uint64_t suspectMarks = 0;
+    std::uint64_t quotaRejections = 0;
+    std::uint64_t oracleViolations = 0;
+    std::uint32_t oracleMaxCount = 0;
+    Histogram benignReadLatencyNs{2.0, 4096};
+    std::vector<RowCensus::WindowSummary> censusWindows;
+    bool hitCycleCap = false;
+
+    /** IPC of benign cores, in slot order. */
+    std::vector<double> benignIpcs() const;
+};
+
+/** The simulated machine. */
+class System : public ICoreMemory
+{
+  public:
+    System(const SystemConfig &config,
+           const std::vector<WorkloadSlot> &slots);
+    ~System() override;
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Run until every benign core retired @p benign_target instructions
+     * (or @p max_cycles elapse).
+     */
+    RunResult run(std::uint64_t benign_target, Cycle max_cycles);
+
+    // --- ICoreMemory ---
+    AccessOutcome load(ThreadId thread, Addr addr, bool uncached,
+                       std::uint64_t token) override;
+    AccessOutcome store(ThreadId thread, Addr addr, bool uncached) override;
+
+    BreakHammer *breakHammer() { return bh.get(); }
+    MemoryController &controller() { return *mc; }
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    void handleReadComplete(const Request &req, Cycle done_cycle);
+
+    SystemConfig config_;
+    AddressMapper mapper;
+    std::unique_ptr<MemoryController> mc;
+    Llc llc;
+    MshrFile mshr;
+    std::unique_ptr<IMitigation> mitigation;
+    std::unique_ptr<BreakHammer> bh;
+    std::unique_ptr<HammerOracle> oracle;
+    std::unique_ptr<RowCensus> census;
+
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<bool> benignSlot;
+
+    Histogram latencyHist{2.0, 4096};
+    std::uint64_t uncachedKeyCounter = 0;
+    Cycle now = 0;
+};
+
+} // namespace bh

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Streaming histogram for latency percentile reporting (Figs 11 and 17).
+ *
+ * Fixed-width bins over [0, max) with a saturating overflow bin. Memory
+ * latencies of benign requests are recorded in nanoseconds; percentile
+ * queries interpolate within the containing bin.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+
+namespace bh {
+
+/** Fixed-bin streaming histogram with percentile queries. */
+class Histogram
+{
+  public:
+    /**
+     * @param bin_width Width of each bin in recorded units.
+     * @param num_bins Number of regular bins; values beyond the last bin
+     *                 land in a saturating overflow bin.
+     */
+    explicit Histogram(double bin_width = 1.0, std::size_t num_bins = 4096)
+        : binWidth(bin_width), bins(num_bins + 1, 0)
+    {
+        BH_ASSERT(bin_width > 0.0, "histogram bin width must be positive");
+    }
+
+    /** Record one sample. */
+    void
+    record(double value)
+    {
+        if (value < 0.0)
+            value = 0.0;
+        auto idx = static_cast<std::size_t>(value / binWidth);
+        if (idx >= bins.size() - 1)
+            idx = bins.size() - 1;
+        ++bins[idx];
+        ++count_;
+        sum_ += value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    /** Number of recorded samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of recorded samples (0 if empty). */
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Largest recorded sample. */
+    double max() const { return max_; }
+
+    /**
+     * Value below which @p pct percent of samples fall.
+     * @param pct Percentile in [0, 100].
+     */
+    double
+    percentile(double pct) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        if (pct <= 0.0)
+            return 0.0;
+        if (pct >= 100.0)
+            return max_;
+        double target = pct / 100.0 * static_cast<double>(count_);
+        double running = 0.0;
+        for (std::size_t i = 0; i < bins.size(); ++i) {
+            double next = running + static_cast<double>(bins[i]);
+            if (next >= target) {
+                if (i == bins.size() - 1)
+                    return max_; // overflow bin: report observed max
+                double frac =
+                    bins[i] ? (target - running) / static_cast<double>(bins[i])
+                            : 0.0;
+                return (static_cast<double>(i) + frac) * binWidth;
+            }
+            running = next;
+        }
+        return max_;
+    }
+
+    /** Merge another histogram with identical geometry into this one. */
+    void
+    merge(const Histogram &other)
+    {
+        BH_ASSERT(other.bins.size() == bins.size() &&
+                      other.binWidth == binWidth,
+                  "histogram geometry mismatch in merge");
+        for (std::size_t i = 0; i < bins.size(); ++i)
+            bins[i] += other.bins[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
+    /** Drop all samples. */
+    void
+    reset()
+    {
+        std::fill(bins.begin(), bins.end(), 0);
+        count_ = 0;
+        sum_ = 0.0;
+        max_ = 0.0;
+    }
+
+  private:
+    double binWidth;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace bh

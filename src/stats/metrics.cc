@@ -1,0 +1,42 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+
+namespace bh {
+
+namespace {
+
+/** Linear-interpolated quantile of a sorted vector. */
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+} // namespace
+
+BoxStats
+boxStats(std::vector<double> values)
+{
+    BoxStats out;
+    if (values.empty())
+        return out;
+    std::sort(values.begin(), values.end());
+    out.min = values.front();
+    out.max = values.back();
+    out.q1 = quantileSorted(values, 0.25);
+    out.median = quantileSorted(values, 0.50);
+    out.q3 = quantileSorted(values, 0.75);
+    return out;
+}
+
+} // namespace bh

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Multi-programmed workload metrics used throughout the evaluation.
+ *
+ * The paper reports system performance as weighted speedup (Eyerman &
+ * Eeckhout; Snavely & Tullsen) and unfairness as the maximum slowdown
+ * experienced by any benign application.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/log.h"
+
+namespace bh {
+
+/**
+ * Weighted speedup of a multi-programmed run.
+ *
+ * @param ipc_shared Per-app IPC in the multi-programmed run.
+ * @param ipc_alone Per-app IPC when running alone.
+ * @return sum_i ipc_shared[i] / ipc_alone[i].
+ */
+inline double
+weightedSpeedup(const std::vector<double> &ipc_shared,
+                const std::vector<double> &ipc_alone)
+{
+    BH_ASSERT(ipc_shared.size() == ipc_alone.size(),
+              "weightedSpeedup: size mismatch");
+    double ws = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+        BH_ASSERT(ipc_alone[i] > 0.0, "weightedSpeedup: zero alone IPC");
+        ws += ipc_shared[i] / ipc_alone[i];
+    }
+    return ws;
+}
+
+/**
+ * Unfairness: the maximum slowdown (alone IPC over shared IPC) across apps.
+ */
+inline double
+maxSlowdown(const std::vector<double> &ipc_shared,
+            const std::vector<double> &ipc_alone)
+{
+    BH_ASSERT(ipc_shared.size() == ipc_alone.size(),
+              "maxSlowdown: size mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+        BH_ASSERT(ipc_shared[i] > 0.0, "maxSlowdown: zero shared IPC");
+        double slowdown = ipc_alone[i] / ipc_shared[i];
+        if (slowdown > worst)
+            worst = slowdown;
+    }
+    return worst;
+}
+
+/** Geometric mean of a vector of positive values (1.0 if empty). */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        BH_ASSERT(v > 0.0, "geomean of non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Arithmetic mean (0.0 if empty). */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/** Simple five-number summary for box plots (Fig 19). */
+struct BoxStats
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+};
+
+/** Compute quartile summary of @p values (values are copied and sorted). */
+BoxStats boxStats(std::vector<double> values);
+
+} // namespace bh

@@ -1,0 +1,56 @@
+#include "trace/attacker.h"
+
+#include <algorithm>
+
+namespace bh {
+
+AttackerTrace::AttackerTrace(const AttackerConfig &config,
+                             const AddressMapper &mapper, std::uint64_t seed)
+    : config_(config), mapper(mapper), rng(seed)
+{
+    const DramOrg &org = mapper.org();
+    numBanks_ = config.numBanks ? std::min(config.numBanks, org.totalBanks())
+                                : org.totalBanks();
+
+    rows.reserve(config.numAggressors);
+    for (unsigned i = 0; i < config.numAggressors; ++i)
+        rows.push_back(config.rowBase + i * config.rowSpacing);
+
+    // One coordinate template per attacked bank, enumerating banks in
+    // rank-parallel order (alternate ranks first, then bank groups).
+    bankCoords.reserve(numBanks_);
+    for (unsigned i = 0; i < numBanks_; ++i) {
+        DramAddress da;
+        da.rank = i % org.ranks;
+        unsigned within = i / org.ranks;
+        da.bankGroup = within % org.bankGroups;
+        da.bank = (within / org.bankGroups) % org.banksPerGroup;
+        bankCoords.push_back(da);
+    }
+}
+
+TraceRecord
+AttackerTrace::next()
+{
+    TraceRecord rec;
+    rec.bubbles = config_.bubbles;
+    rec.isWrite = false;
+    rec.uncached = true;
+
+    DramAddress da = bankCoords[bankCursor];
+    da.row = rows[rowCursor];
+    da.column = static_cast<unsigned>(
+        rng.nextBounded(mapper.org().linesPerRow));
+
+    // Banks iterate in the inner loop: consecutive accesses hit different
+    // banks, maximizing activation parallelism.
+    if (++bankCursor >= bankCoords.size()) {
+        bankCursor = 0;
+        rowCursor = (rowCursor + 1) % rows.size();
+    }
+
+    rec.addr = mapper.encode(da);
+    return rec;
+}
+
+} // namespace bh

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * RowHammer attacker trace generators.
+ *
+ * Models the access-pattern class the paper's artifact uses for its attacker
+ * cores: a many-sided hammer cycling over a small set of aggressor rows in
+ * each of many banks, with cache-bypassing accesses (the synthetic stand-in
+ * for clflush+access loops). Iterating banks in the inner loop maximizes
+ * bank-level parallelism, so a single thread can saturate the rank's
+ * activation budget (tRRD/tFAW) — every access is a row-buffer conflict,
+ * so every access costs one activation, and the pattern triggers the most
+ * RowHammer-preventive actions per unit of time. Because sustaining this
+ * rate needs many outstanding requests, the pattern is exactly what
+ * BreakHammer's MSHR-quota throttling starves (§4.3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dram/address.h"
+#include "trace/trace.h"
+
+namespace bh {
+
+/** Configuration of a many-sided hammering kernel. */
+struct AttackerConfig
+{
+    /** Aggressor rows hammered in each attacked bank. */
+    unsigned numAggressors = 6;
+    /** Row index of the first aggressor (0 = auto-place per core slot). */
+    unsigned rowBase = 0;
+    /** Spacing between aggressor rows (2 leaves victim rows between). */
+    unsigned rowSpacing = 2;
+    /**
+     * Number of banks attacked (0 = all banks in the channel). The
+     * default concentrates on one bank group per rank: wide enough to
+     * hog bandwidth, focused enough that per-row activation counts climb
+     * quickly (which is what triggers the per-row mechanisms).
+     */
+    unsigned numBanks = 8;
+    /** Non-memory instructions between accesses (attackers busy-loop). */
+    std::uint32_t bubbles = 2;
+};
+
+/** Many-sided hammer trace source. */
+class AttackerTrace : public TraceSource
+{
+  public:
+    AttackerTrace(const AttackerConfig &config, const AddressMapper &mapper,
+                  std::uint64_t seed);
+
+    TraceRecord next() override;
+    const std::string &name() const override { return name_; }
+
+    const AttackerConfig &config() const { return config_; }
+
+    /** The aggressor row indices hammered in every attacked bank. */
+    const std::vector<unsigned> &aggressorRows() const { return rows; }
+
+    /** Number of banks under attack. */
+    unsigned attackedBanks() const { return numBanks_; }
+
+  private:
+    AttackerConfig config_;
+    const AddressMapper &mapper;
+    Rng rng;
+    std::string name_ = "hammer_attacker";
+    std::vector<unsigned> rows;
+    std::vector<DramAddress> bankCoords; ///< One template per bank.
+    unsigned bankCursor = 0;
+    unsigned rowCursor = 0;
+    unsigned numBanks_ = 0;
+};
+
+} // namespace bh

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fast functional trace profiler.
+ *
+ * Estimates the statistics the paper uses to classify workloads (Table 3)
+ * without running full timing simulation: records flow through a functional
+ * LLC and a per-bank open-row model, counting row-buffer misses per kilo
+ * instruction (RBMPKI) and per-row activation counts per 64 ms-equivalent
+ * window (approximated by an instruction budget at a nominal IPC).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "cache/llc.h"
+#include "dram/address.h"
+#include "dram/row_census.h"
+#include "trace/trace.h"
+
+namespace bh {
+
+/** Profiling summary of one trace. */
+struct TraceProfile
+{
+    double rbmpki = 0.0;        ///< Row-buffer misses per kilo instruction.
+    double llcMpki = 0.0;       ///< LLC misses per kilo instruction.
+    double meanRows512 = 0.0;   ///< Mean rows with > 512 ACTs per window.
+    double meanRows128 = 0.0;
+    double meanRows64 = 0.0;
+    std::uint64_t instructions = 0;
+};
+
+/** Run @p instructions worth of @p source through the functional models. */
+TraceProfile profileTrace(TraceSource &source, const AddressMapper &mapper,
+                          const LlcConfig &llc_config,
+                          std::uint64_t instructions,
+                          double window_megainsts = 16.0);
+
+} // namespace bh

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unit tests for src/breakhammer: score attribution (§4.1), suspect
+ * identification (Alg 1), quota schedule (Eq 1), the two-set counter
+ * interleaving (Fig 4), the analytic security model (Expr 2 / Fig 5), and
+ * the hardware cost model (§6).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "breakhammer/breakhammer.h"
+#include "breakhammer/cost_model.h"
+#include "breakhammer/security_model.h"
+#include "cache/mshr.h"
+
+namespace bh {
+namespace {
+
+BreakHammerConfig
+testConfig()
+{
+    BreakHammerConfig c;
+    c.window = 10000;
+    c.thThreat = 4.0;
+    c.thOutlier = 0.65;
+    c.pOldSuspect = 1;
+    c.pNewSuspect = 10;
+    return c;
+}
+
+struct Fixture
+{
+    Fixture() : mshr(64, 4), bh(4, testConfig(), &mshr) {}
+
+    /** One preventive action attributed purely to @p thread. */
+    void
+    act(ThreadId thread, Cycle now)
+    {
+        bh.onDemandActivate(thread, 0, now);
+        bh.onPreventiveAction(1.0, now);
+    }
+
+    MshrFile mshr;
+    BreakHammer bh;
+};
+
+TEST(BreakHammerTest, ProportionalAttribution)
+{
+    Fixture f;
+    // Thread 0: 3 activations, thread 1: 1 activation, then one action.
+    f.bh.onDemandActivate(0, 0, 1);
+    f.bh.onDemandActivate(0, 0, 2);
+    f.bh.onDemandActivate(0, 0, 3);
+    f.bh.onDemandActivate(1, 0, 4);
+    f.bh.onPreventiveAction(1.0, 5);
+    EXPECT_NEAR(f.bh.score(0), 0.75, 1e-12);
+    EXPECT_NEAR(f.bh.score(1), 0.25, 1e-12);
+    EXPECT_NEAR(f.bh.score(2), 0.0, 1e-12);
+}
+
+TEST(BreakHammerTest, ActivationTrackingResetsAfterAction)
+{
+    Fixture f;
+    f.bh.onDemandActivate(0, 0, 1);
+    f.bh.onPreventiveAction(1.0, 2);
+    // New action with only thread 1 active: all credit goes to thread 1.
+    f.bh.onDemandActivate(1, 0, 3);
+    f.bh.onPreventiveAction(1.0, 4);
+    EXPECT_NEAR(f.bh.score(0), 1.0, 1e-12);
+    EXPECT_NEAR(f.bh.score(1), 1.0, 1e-12);
+}
+
+TEST(BreakHammerTest, ActionWithNoActivationsIsDropped)
+{
+    Fixture f;
+    f.bh.onPreventiveAction(1.0, 1);
+    for (ThreadId t = 0; t < 4; ++t)
+        EXPECT_DOUBLE_EQ(f.bh.score(t), 0.0);
+}
+
+TEST(BreakHammerTest, WeightScalesScore)
+{
+    Fixture f;
+    f.bh.onDemandActivate(0, 0, 1);
+    f.bh.onPreventiveAction(4.0, 2);
+    EXPECT_NEAR(f.bh.score(0), 4.0, 1e-12);
+}
+
+TEST(BreakHammerTest, ThreatThresholdShieldsLowScores)
+{
+    Fixture f;
+    // Three actions, all thread 0: score 3 < thThreat 4 -> no suspect.
+    for (int i = 0; i < 3; ++i)
+        f.act(0, 10 + i);
+    EXPECT_FALSE(f.bh.isSuspect(0));
+    EXPECT_EQ(f.mshr.quota(0), f.mshr.fullQuota());
+}
+
+TEST(BreakHammerTest, OutlierDetectionMarksSuspect)
+{
+    Fixture f;
+    // Five actions on thread 0: score 5 > thThreat and > 1.65 * mean
+    // (mean = 5/4 = 1.25; bound = 2.06).
+    for (int i = 0; i < 5; ++i)
+        f.act(0, 10 + i);
+    EXPECT_TRUE(f.bh.isSuspect(0));
+    EXPECT_EQ(f.bh.suspectMarks(), 1u);
+    // Eq 1 fresh suspect: quota = 64 / 10 = 6.
+    EXPECT_EQ(f.bh.quota(0), 6u);
+    EXPECT_EQ(f.mshr.quota(0), 6u);
+}
+
+TEST(BreakHammerTest, NoOutlierWhenAllThreadsEqual)
+{
+    Fixture f;
+    // All threads accumulate identical scores: nobody deviates.
+    for (int round = 0; round < 8; ++round)
+        for (ThreadId t = 0; t < 4; ++t)
+            f.act(t, 10 + round * 4 + t);
+    for (ThreadId t = 0; t < 4; ++t)
+        EXPECT_FALSE(f.bh.isSuspect(t));
+}
+
+TEST(BreakHammerTest, RepeatSuspectLosesQuotaLinearly)
+{
+    Fixture f;
+    for (int i = 0; i < 5; ++i)
+        f.act(0, 10 + i);
+    ASSERT_EQ(f.bh.quota(0), 6u);
+
+    // Next window: thread 0 is a recent suspect; another mark reduces
+    // the quota by pOldSuspect = 1 (Eq 1).
+    Cycle w2 = testConfig().window + 10;
+    for (int i = 0; i < 6; ++i)
+        f.act(0, w2 + i);
+    EXPECT_TRUE(f.bh.isSuspect(0));
+    EXPECT_EQ(f.bh.quota(0), 5u);
+
+    Cycle w3 = 2 * testConfig().window + 10;
+    for (int i = 0; i < 7; ++i)
+        f.act(0, w3 + i);
+    EXPECT_EQ(f.bh.quota(0), 4u);
+}
+
+TEST(BreakHammerTest, QuotaClampsAtZero)
+{
+    BreakHammerConfig cfg = testConfig();
+    cfg.pNewSuspect = 100; // 64 / 100 = 0 immediately.
+    MshrFile mshr(64, 4);
+    BreakHammer bh(4, cfg, &mshr);
+    for (int i = 0; i < 5; ++i) {
+        bh.onDemandActivate(0, 0, 10 + i);
+        bh.onPreventiveAction(1.0, 10 + i);
+    }
+    EXPECT_EQ(bh.quota(0), 0u);
+    EXPECT_FALSE(mshr.canAllocate(0));
+}
+
+TEST(BreakHammerTest, OneReductionPerWindow)
+{
+    Fixture f;
+    for (int i = 0; i < 20; ++i)
+        f.act(0, 10 + i);
+    // Marked once; repeated marks within the window do not re-reduce.
+    EXPECT_EQ(f.bh.quota(0), 6u);
+    EXPECT_EQ(f.bh.suspectMarks(), 1u);
+}
+
+TEST(BreakHammerTest, CleanWindowRestoresQuota)
+{
+    Fixture f;
+    for (int i = 0; i < 5; ++i)
+        f.act(0, 10 + i);
+    ASSERT_EQ(f.bh.quota(0), 6u);
+
+    // Window 2: thread 0 stays quiet (recent suspect, not re-marked).
+    f.bh.rollWindows(testConfig().window + 1);
+    EXPECT_TRUE(f.bh.wasRecentSuspect(0));
+    EXPECT_EQ(f.bh.quota(0), 6u); // Still reduced during window 2.
+
+    // Window 3 starts: thread 0 was clean for all of window 2.
+    f.bh.rollWindows(2 * testConfig().window + 1);
+    EXPECT_FALSE(f.bh.wasRecentSuspect(0));
+    EXPECT_EQ(f.bh.quota(0), f.mshr.fullQuota());
+    EXPECT_TRUE(f.mshr.canAllocate(0));
+}
+
+TEST(BreakHammerTest, TwoSetInterleavingRetainsTraining)
+{
+    Fixture f;
+    // Accumulate score 3 in window 1 (both sets train).
+    for (int i = 0; i < 3; ++i)
+        f.act(0, 10 + i);
+    EXPECT_NEAR(f.bh.score(0), 3.0, 1e-12);
+
+    // Window boundary: active set resets, trained set takes over — the
+    // score survives one boundary (continuous monitoring, Fig 4).
+    f.bh.rollWindows(testConfig().window + 1);
+    EXPECT_NEAR(f.bh.score(0), 3.0, 1e-12);
+
+    // After a second boundary the old training is gone.
+    f.bh.rollWindows(2 * testConfig().window + 1);
+    EXPECT_NEAR(f.bh.score(0), 0.0, 1e-12);
+}
+
+TEST(BreakHammerTest, CrossWindowAccumulationDetects)
+{
+    // An attacker pacing itself across a window boundary is still caught
+    // because the trained set carries the previous window's score.
+    Fixture f;
+    for (int i = 0; i < 3; ++i)
+        f.act(0, 100 + i);
+    f.bh.rollWindows(testConfig().window + 1);
+    for (int i = 0; i < 2; ++i)
+        f.act(0, testConfig().window + 100 + i);
+    // Active-set score = 3 (carried) + 2 (new) = 5 > thresholds.
+    EXPECT_TRUE(f.bh.isSuspect(0));
+}
+
+TEST(BreakHammerTest, DirectScorePath)
+{
+    Fixture f;
+    f.bh.onDirectScore(2, 5.0, 10); // REGA-style credit.
+    EXPECT_NEAR(f.bh.score(2), 5.0, 1e-12);
+    EXPECT_TRUE(f.bh.isSuspect(2));
+}
+
+TEST(BreakHammerTest, ActionsObservedCounts)
+{
+    Fixture f;
+    f.act(0, 1);
+    f.act(1, 2);
+    f.bh.onDirectScore(2, 1.0, 3);
+    EXPECT_EQ(f.bh.actionsObserved(), 3u);
+}
+
+// --- Security model (Expr 2 / Fig 5) --------------------------------
+
+TEST(SecurityModelTest, PaperDataPoints)
+{
+    // §5.2: THo = 0.65, 50% attack threads -> 4.71x.
+    EXPECT_NEAR(maxAttackerScoreBound(0.5, 0.65), 4.71, 0.01);
+    // §5.2: THo = 0.05, 90% attack threads -> 1.90x.
+    EXPECT_NEAR(maxAttackerScoreBound(0.9, 0.05), 1.90, 0.01);
+}
+
+TEST(SecurityModelTest, MonotoneInAttackerFraction)
+{
+    double prev = 0.0;
+    for (double f = 0.0; f < 0.55; f += 0.05) {
+        double bound = maxAttackerScoreBound(f, 0.65);
+        EXPECT_GE(bound, prev);
+        prev = bound;
+    }
+}
+
+TEST(SecurityModelTest, UnboundedWhenMeanRigged)
+{
+    EXPECT_TRUE(std::isinf(maxAttackerScoreBound(0.99, 0.65)));
+}
+
+TEST(SecurityModelTest, InverseConsistency)
+{
+    double f = requiredAttackerFraction(4.71, 0.65);
+    EXPECT_NEAR(f, 0.5, 0.01);
+    EXPECT_DOUBLE_EQ(requiredAttackerFraction(1.0, 0.65), 0.0);
+}
+
+TEST(SecurityModelTest, PaperConclusionNeedsOverwhelmingFraction)
+{
+    // "An attacker cannot trigger twice the preventive-action count of
+    // benign applications unless it uses 90% of all hardware threads"
+    // (§1) — at low TH_outlier.
+    double f = requiredAttackerFraction(2.0, 0.05);
+    EXPECT_GT(f, 0.85);
+}
+
+// --- Hardware cost model (§6) ----------------------------------------
+
+TEST(CostModelTest, PerThreadInventory)
+{
+    EXPECT_EQ(kBreakHammerBitsPerThread, 82u);
+}
+
+TEST(CostModelTest, MatchesPaperAreaDatum)
+{
+    // 4 threads, 1 channel -> 0.000105 mm^2 (§6).
+    EXPECT_NEAR(breakHammerAreaMm2(4, 1), 0.000105, 1e-6);
+}
+
+TEST(CostModelTest, BlockHammerStorageGrowsAsNrhShrinks)
+{
+    EXPECT_GT(blockHammerStorageBits(64, 32),
+              blockHammerStorageBits(1024, 32));
+    // BreakHammer's storage is independent of N_RH and much smaller.
+    EXPECT_LT(breakHammerStorageBits(4, 1),
+              blockHammerStorageBits(1024, 32) / 100);
+}
+
+TEST(CostModelTest, LatencyBelowTrrd)
+{
+    // §6: 0.67 ns < tRRD (2.5 ns DDR4, 5 ns DDR5).
+    EXPECT_LT(kBreakHammerLatencyNs, 2.5);
+}
+
+/** Alg 1 parameterized over TH_outlier: the marking bound is exact. */
+class OutlierSweepTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(OutlierSweepTest, MarkExactlyAboveBound)
+{
+    double th_outlier = GetParam();
+    BreakHammerConfig cfg;
+    cfg.window = 1000000;
+    cfg.thThreat = 1.0;
+    cfg.thOutlier = th_outlier;
+    MshrFile mshr(64, 4);
+    BreakHammer bh(4, cfg, &mshr);
+
+    // Give threads 1..3 score 1 each, thread 0 score S; suspect iff
+    // S > (1 + THo) * (S + 3) / 4, checked at the *next* action.
+    auto run_case = [&](int s) {
+        MshrFile m2(64, 4);
+        BreakHammer b(4, cfg, &m2);
+        for (ThreadId t = 1; t < 4; ++t) {
+            b.onDemandActivate(t, 0, t);
+            b.onPreventiveAction(1.0, t);
+        }
+        for (int i = 0; i < s; ++i) {
+            b.onDemandActivate(0, 0, 10 + i);
+            b.onPreventiveAction(1.0, 10 + i);
+        }
+        return b.isSuspect(0);
+    };
+
+    for (int s = 1; s <= 40; ++s) {
+        double bound = (1.0 + th_outlier) * (s + 3.0) / 4.0;
+        bool expect_suspect = static_cast<double>(s) > bound;
+        EXPECT_EQ(run_case(s), expect_suspect)
+            << "score " << s << " THo " << th_outlier;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(OutlierConfigs, OutlierSweepTest,
+                         ::testing::Values(0.05, 0.25, 0.45, 0.65, 0.85,
+                                           0.95));
+
+} // namespace
+} // namespace bh

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for src/cache: LLC functional model and the MSHR file with
+ * per-thread quotas (BreakHammer's throttle point).
+ */
+#include <gtest/gtest.h>
+
+#include "cache/llc.h"
+#include "cache/mshr.h"
+
+namespace bh {
+namespace {
+
+LlcConfig
+tinyLlc()
+{
+    LlcConfig c;
+    c.sizeBytes = 4096; // 64 lines.
+    c.ways = 4;         // 16 sets.
+    return c;
+}
+
+TEST(LlcTest, MissThenHit)
+{
+    Llc llc(tinyLlc());
+    EXPECT_FALSE(llc.access(0x1000, false));
+    llc.allocate(0x1000, false, nullptr);
+    EXPECT_TRUE(llc.access(0x1000, false));
+    EXPECT_EQ(llc.hits(), 1u);
+    EXPECT_EQ(llc.misses(), 1u);
+}
+
+TEST(LlcTest, LruEvictsOldest)
+{
+    LlcConfig cfg = tinyLlc();
+    Llc llc(cfg);
+    // Fill one set: same set index, different tags. Set stride is
+    // 16 sets * 64 B = 1024 B.
+    for (unsigned i = 0; i < cfg.ways; ++i)
+        llc.allocate(0x400ull * i * 16, false, nullptr);
+    // Touch way 0 so way 1 becomes LRU... (touch tags in order except one).
+    llc.access(0, false);
+    Llc::Victim victim;
+    llc.allocate(0x400ull * cfg.ways * 16, false, &victim);
+    // The evicted line is not the recently touched one.
+    EXPECT_NE(victim.writebackLine, 0u);
+}
+
+TEST(LlcTest, DirtyEvictionReportsWriteback)
+{
+    LlcConfig cfg = tinyLlc();
+    Llc llc(cfg);
+    llc.allocate(0x0, true, nullptr); // Dirty.
+    for (unsigned i = 1; i < cfg.ways; ++i)
+        llc.allocate(0x4000ull * i, false, nullptr); // Same set 0.
+    Llc::Victim victim;
+    llc.allocate(0x4000ull * cfg.ways, false, &victim);
+    EXPECT_TRUE(victim.dirtyWriteback);
+    EXPECT_EQ(victim.writebackLine, 0u);
+    EXPECT_EQ(llc.writebacks(), 1u);
+}
+
+TEST(LlcTest, CleanEvictionNoWriteback)
+{
+    LlcConfig cfg = tinyLlc();
+    Llc llc(cfg);
+    for (unsigned i = 0; i < cfg.ways; ++i)
+        llc.allocate(0x4000ull * i, false, nullptr);
+    Llc::Victim victim;
+    llc.allocate(0x4000ull * cfg.ways, false, &victim);
+    EXPECT_FALSE(victim.dirtyWriteback);
+}
+
+TEST(LlcTest, WriteHitMarksDirty)
+{
+    LlcConfig cfg = tinyLlc();
+    Llc llc(cfg);
+    llc.allocate(0x0, false, nullptr);
+    EXPECT_TRUE(llc.access(0x0, true)); // Now dirty.
+    for (unsigned i = 1; i < cfg.ways; ++i)
+        llc.allocate(0x4000ull * i, false, nullptr);
+    Llc::Victim victim;
+    llc.allocate(0x4000ull * cfg.ways, false, &victim);
+    EXPECT_TRUE(victim.dirtyWriteback);
+}
+
+TEST(LlcTest, SetDirtyOnPresentLine)
+{
+    LlcConfig cfg = tinyLlc();
+    Llc llc(cfg);
+    llc.allocate(0x0, false, nullptr);
+    llc.setDirty(0x0);
+    for (unsigned i = 1; i < cfg.ways; ++i)
+        llc.allocate(0x4000ull * i, false, nullptr);
+    Llc::Victim victim;
+    llc.allocate(0x4000ull * cfg.ways, false, &victim);
+    EXPECT_TRUE(victim.dirtyWriteback);
+}
+
+TEST(LlcTest, ProbeDoesNotTouchLru)
+{
+    LlcConfig cfg = tinyLlc();
+    Llc llc(cfg);
+    llc.allocate(0x0, false, nullptr);
+    for (unsigned i = 1; i < cfg.ways; ++i)
+        llc.allocate(0x4000ull * i, false, nullptr);
+    // Probe the oldest line: should NOT protect it from eviction.
+    EXPECT_TRUE(llc.probe(0x0));
+    Llc::Victim victim;
+    llc.allocate(0x4000ull * cfg.ways, false, &victim);
+    EXPECT_EQ(victim.writebackLine, 0u);
+}
+
+TEST(LlcTest, InvalidateRemovesLine)
+{
+    Llc llc(tinyLlc());
+    llc.allocate(0x40, false, nullptr);
+    EXPECT_TRUE(llc.invalidate(0x40));
+    EXPECT_FALSE(llc.probe(0x40));
+    EXPECT_FALSE(llc.invalidate(0x40));
+}
+
+TEST(LlcTest, Table1Geometry)
+{
+    LlcConfig cfg; // Defaults: 8 MiB, 8-way.
+    Llc llc(cfg);
+    EXPECT_EQ(llc.numSets(), (8u << 20) / 64 / 8);
+}
+
+TEST(MshrTest, AllocateAndRelease)
+{
+    MshrFile mshr(4, 2);
+    EXPECT_TRUE(mshr.canAllocate(0));
+    mshr.allocate(0x40, 0, false);
+    EXPECT_TRUE(mshr.has(0x40));
+    EXPECT_EQ(mshr.inflightOf(0), 1u);
+    std::vector<MshrWaiter> waiters;
+    EXPECT_FALSE(mshr.release(0x40, &waiters));
+    EXPECT_EQ(mshr.inflightOf(0), 0u);
+    EXPECT_FALSE(mshr.has(0x40));
+}
+
+TEST(MshrTest, GlobalCapacityLimit)
+{
+    MshrFile mshr(2, 1);
+    mshr.allocate(0x40, 0, false);
+    mshr.allocate(0x80, 0, false);
+    EXPECT_FALSE(mshr.canAllocate(0));
+}
+
+TEST(MshrTest, QuotaLimitsThread)
+{
+    MshrFile mshr(8, 2);
+    mshr.setQuota(0, 2);
+    mshr.allocate(0x40, 0, false);
+    mshr.allocate(0x80, 0, false);
+    EXPECT_FALSE(mshr.canAllocate(0)); // Thread 0 over quota.
+    EXPECT_TRUE(mshr.canAllocate(1));  // Thread 1 unaffected.
+    EXPECT_EQ(mshr.quota(0), 2u);
+    EXPECT_EQ(mshr.fullQuota(), 8u);
+}
+
+TEST(MshrTest, ZeroQuotaBlocksAllocation)
+{
+    MshrFile mshr(8, 1);
+    mshr.setQuota(0, 0);
+    EXPECT_FALSE(mshr.canAllocate(0));
+}
+
+TEST(MshrTest, MergeDoesNotConsumeQuota)
+{
+    MshrFile mshr(8, 2);
+    mshr.setQuota(0, 1);
+    mshr.allocate(0x40, 0, false);
+    EXPECT_FALSE(mshr.canAllocate(0));
+    // Secondary miss to the same line merges freely (paper §4.3).
+    mshr.merge(0x40, MshrWaiter{0, 11, true}, false);
+    mshr.merge(0x40, MshrWaiter{1, 22, true}, false);
+    std::vector<MshrWaiter> waiters;
+    mshr.release(0x40, &waiters);
+    ASSERT_EQ(waiters.size(), 2u);
+    EXPECT_EQ(waiters[0].token, 11u);
+    EXPECT_EQ(waiters[1].token, 22u);
+}
+
+TEST(MshrTest, StoreMergeSetsAnyStore)
+{
+    MshrFile mshr(8, 1);
+    mshr.allocate(0x40, 0, false);
+    mshr.merge(0x40, MshrWaiter{0, 0, false}, true);
+    std::vector<MshrWaiter> waiters;
+    EXPECT_TRUE(mshr.release(0x40, &waiters));
+    EXPECT_TRUE(waiters.empty()); // Store waiters need no wakeup.
+}
+
+TEST(MshrTest, QuotaRejectionCounter)
+{
+    MshrFile mshr(8, 1);
+    EXPECT_EQ(mshr.quotaRejections(), 0u);
+    mshr.noteQuotaRejection();
+    mshr.noteQuotaRejection();
+    EXPECT_EQ(mshr.quotaRejections(), 2u);
+}
+
+TEST(MshrTest, RestoringQuotaReenablesAllocation)
+{
+    MshrFile mshr(4, 1);
+    mshr.setQuota(0, 0);
+    EXPECT_FALSE(mshr.canAllocate(0));
+    mshr.setQuota(0, mshr.fullQuota());
+    EXPECT_TRUE(mshr.canAllocate(0));
+}
+
+} // namespace
+} // namespace bh

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for src/mem: scheduling, refresh, maintenance operations, and
+ * the mitigation/observer hook points.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/address.h"
+#include "mem/controller.h"
+
+namespace bh {
+namespace {
+
+struct Completion
+{
+    Request req;
+    Cycle at;
+};
+
+class ControllerFixture : public ::testing::Test
+{
+  protected:
+    ControllerFixture()
+        : spec(DramSpec::ddr5()), map(spec.org), mc(spec, map, McConfig{})
+    {
+        mc.onReadComplete = [this](const Request &r, Cycle c) {
+            completions.push_back({r, c});
+        };
+    }
+
+    /** Address of (bank 0, given row/column) through the mapper. */
+    Addr
+    addrOf(unsigned row, unsigned column = 0, unsigned bank_group = 0)
+    {
+        DramAddress da;
+        da.row = row;
+        da.column = column;
+        da.bankGroup = bank_group;
+        return map.encode(da);
+    }
+
+    void
+    runUntil(Cycle end)
+    {
+        for (; now < end; ++now)
+            mc.tick(now);
+    }
+
+    Request
+    readReq(Addr addr, ThreadId thread = 0, std::uint64_t token = 0)
+    {
+        Request r;
+        r.type = Request::Type::kRead;
+        r.addr = addr;
+        r.thread = thread;
+        r.token = token;
+        return r;
+    }
+
+    DramSpec spec;
+    AddressMapper map;
+    MemoryController mc;
+    std::vector<Completion> completions;
+    Cycle now = 0;
+};
+
+TEST_F(ControllerFixture, SingleReadCompletesWithRowMissLatency)
+{
+    mc.enqueueRead(readReq(addrOf(5)), 0);
+    runUntil(2000);
+    ASSERT_EQ(completions.size(), 1u);
+    // ACT + tRCD + tCL + tBL, plus command-slot granularity.
+    Cycle min_latency =
+        spec.timing.tRCD + spec.timing.tCL + spec.timing.tBL;
+    EXPECT_GE(completions[0].at, min_latency);
+    EXPECT_LE(completions[0].at, min_latency + 20);
+}
+
+TEST_F(ControllerFixture, RowHitFasterThanConflict)
+{
+    mc.enqueueRead(readReq(addrOf(5, 0), 0, 1), 0);
+    runUntil(300);
+    ASSERT_EQ(completions.size(), 1u);
+    Cycle first = completions[0].at;
+
+    // Same row: hit (no ACT needed).
+    mc.enqueueRead(readReq(addrOf(5, 4), 0, 2), now);
+    Cycle start = now;
+    runUntil(now + 300);
+    ASSERT_EQ(completions.size(), 2u);
+    Cycle hit_latency = completions[1].at - start;
+    EXPECT_LT(hit_latency, first);
+
+    // Different row: conflict (PRE + ACT + RD).
+    mc.enqueueRead(readReq(addrOf(9, 0), 0, 3), now);
+    start = now;
+    runUntil(now + 2000);
+    ASSERT_EQ(completions.size(), 3u);
+    Cycle conflict_latency = completions[2].at - start;
+    EXPECT_GT(conflict_latency, hit_latency);
+}
+
+TEST_F(ControllerFixture, FrFcfsCapBoundsHitReordering)
+{
+    McConfig cfg;
+    cfg.frfcfsCap = 4;
+    MemoryController capped(spec, map, cfg);
+    std::vector<Completion> done;
+    capped.onReadComplete = [&](const Request &r, Cycle c) {
+        done.push_back({r, c});
+    };
+
+    // Open row 5, then enqueue an older conflict (row 9) followed by a
+    // stream of row-5 hits. At most `cap` hits may bypass the conflict.
+    capped.enqueueRead(readReq(addrOf(5, 0), 0, 100), 0);
+    Cycle t = 0;
+    for (; t < 400; ++t)
+        capped.tick(t);
+    ASSERT_EQ(done.size(), 1u);
+
+    capped.enqueueRead(readReq(addrOf(9, 0), 1, 999), t); // Conflict.
+    for (unsigned i = 0; i < 12; ++i)
+        capped.enqueueRead(readReq(addrOf(5, 1 + i), 0, i), t); // Hits.
+    for (; t < 6000 && done.size() < 14; ++t)
+        capped.tick(t);
+    ASSERT_EQ(done.size(), 14u);
+
+    // Find the conflict's completion position: <= cap hits before it.
+    unsigned position = 0;
+    for (unsigned i = 1; i < done.size(); ++i) {
+        if (done[i].req.token == 999) {
+            position = i - 1; // Hits served before the conflict.
+            break;
+        }
+    }
+    EXPECT_LE(position, cfg.frfcfsCap);
+}
+
+TEST_F(ControllerFixture, PeriodicRefreshHappens)
+{
+    unsigned refreshes = 0;
+    mc.onPeriodicRefresh = [&](unsigned, unsigned, unsigned) {
+        ++refreshes;
+    };
+    runUntil(spec.timing.tREFI * 3 + 100);
+    // Two ranks, three intervals each (allow boundary slack).
+    EXPECT_GE(refreshes, 4u);
+    EXPECT_LE(refreshes, 8u);
+}
+
+TEST_F(ControllerFixture, RefreshSweepAdvances)
+{
+    std::vector<unsigned> starts;
+    mc.onPeriodicRefresh = [&](unsigned rank, unsigned start, unsigned n) {
+        if (rank == 0)
+            starts.push_back(start);
+        EXPECT_EQ(n, spec.org.rowsPerBank / 8192);
+    };
+    runUntil(spec.timing.tREFI * 3 + 100);
+    ASSERT_GE(starts.size(), 2u);
+    EXPECT_NE(starts[0], starts[1]);
+}
+
+TEST_F(ControllerFixture, VictimRefreshBlocksBankAndNotifies)
+{
+    unsigned protected_row = 0;
+    mc.onRowProtected = [&](unsigned, unsigned row) {
+        protected_row = row;
+    };
+    mc.performVictimRefresh(0, 42, 1.0);
+    EXPECT_EQ(mc.preventiveActions(), 1u);
+    runUntil(50);
+    EXPECT_EQ(protected_row, 42u);
+    // The bank is busy for ~2 tRC: a read takes much longer than usual.
+    mc.enqueueRead(readReq(addrOf(7)), now);
+    runUntil(now + 3000);
+    ASSERT_EQ(completions.size(), 1u);
+    EXPECT_GT(completions[0].at, 2 * spec.timing.tRC);
+    EXPECT_EQ(mc.engine().energy().victimRows(), 2u);
+}
+
+TEST_F(ControllerFixture, MigrationChargesEnergy)
+{
+    mc.performMigration(3, 10);
+    runUntil(100);
+    EXPECT_EQ(mc.engine().energy().migrations(), 1u);
+    EXPECT_EQ(mc.preventiveActions(), 1u);
+}
+
+TEST_F(ControllerFixture, ObserverSeesActionsAndActs)
+{
+    struct Recorder : IActionObserver
+    {
+        void onDemandActivate(ThreadId t, unsigned, Cycle) override
+        {
+            last_thread = t;
+            ++acts;
+        }
+        void onPreventiveAction(double w, Cycle) override
+        {
+            weight += w;
+        }
+        void onDirectScore(ThreadId, double, Cycle) override {}
+        ThreadId last_thread = kInvalidThread;
+        unsigned acts = 0;
+        double weight = 0;
+    } recorder;
+
+    mc.setObserver(&recorder);
+    mc.enqueueRead(readReq(addrOf(5), 3), 0);
+    runUntil(500);
+    EXPECT_EQ(recorder.acts, 1u);
+    EXPECT_EQ(recorder.last_thread, 3u);
+    mc.performVictimRefresh(0, 1, 2.5);
+    EXPECT_DOUBLE_EQ(recorder.weight, 2.5);
+}
+
+TEST_F(ControllerFixture, WritesDrainInBatches)
+{
+    // Fill the write queue beyond the high watermark; writes get served.
+    for (unsigned i = 0; i < 50; ++i) {
+        Request w;
+        w.type = Request::Type::kWrite;
+        w.addr = addrOf(5, i % 64);
+        w.thread = 0;
+        mc.enqueueWrite(w, 0);
+    }
+    runUntil(20000);
+    EXPECT_GT(mc.writesServed(), 30u);
+    EXPECT_LT(mc.writeQueueDepth(), 20u);
+}
+
+TEST_F(ControllerFixture, MitigationActReleaseDelaysIssue)
+{
+    struct Delayer : IMitigation
+    {
+        const char *name() const override { return "delayer"; }
+        void onActivate(unsigned, unsigned, ThreadId, Cycle) override
+        {
+            ++acts;
+        }
+        Cycle
+        actReleaseCycle(unsigned, unsigned row, ThreadId, Cycle now)
+            override
+        {
+            // Absolute release time, as BlockHammer computes it.
+            return row == 5 ? std::max<Cycle>(now, 5000) : now;
+        }
+        unsigned acts = 0;
+    } delayer;
+
+    mc.setMitigation(&delayer);
+    mc.enqueueRead(readReq(addrOf(5), 0, 1), 0);  // Delayed row.
+    mc.enqueueRead(readReq(addrOf(9), 0, 2), 0);  // Free row, same bank.
+    runUntil(2500);
+    // The free row overtakes the delayed one.
+    ASSERT_GE(completions.size(), 1u);
+    EXPECT_EQ(completions[0].req.token, 2u);
+    runUntil(9000);
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_EQ(completions[1].req.token, 1u);
+    EXPECT_GE(completions[1].at, 5000u);
+}
+
+TEST_F(ControllerFixture, AlertBackoffBlocksEverything)
+{
+    mc.performAlertBackoff(4, 1.0);
+    // All banks blocked for 4 * tRFM.
+    mc.enqueueRead(readReq(addrOf(3)), now);
+    runUntil(4 * spec.timing.tRFM - 10);
+    EXPECT_TRUE(completions.empty());
+    runUntil(4 * spec.timing.tRFM + 2000);
+    EXPECT_EQ(completions.size(), 1u);
+}
+
+TEST_F(ControllerFixture, QueueCapacityChecks)
+{
+    McConfig cfg;
+    cfg.readQueueSize = 2;
+    MemoryController small(spec, map, cfg);
+    EXPECT_TRUE(small.canEnqueueRead());
+    small.enqueueRead(readReq(addrOf(1)), 0);
+    small.enqueueRead(readReq(addrOf(2)), 0);
+    EXPECT_FALSE(small.canEnqueueRead());
+}
+
+} // namespace
+} // namespace bh

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Unit tests for src/dram: spec presets, address mapping, timing engine,
+ * energy accounting, row census.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dram/address.h"
+#include "dram/row_census.h"
+#include "dram/spec.h"
+#include "dram/timing.h"
+
+namespace bh {
+namespace {
+
+TEST(SpecTest, Ddr5OrganizationMatchesTable1)
+{
+    DramSpec spec = DramSpec::ddr5();
+    EXPECT_EQ(spec.org.ranks, 2u);
+    EXPECT_EQ(spec.org.bankGroups, 8u);
+    EXPECT_EQ(spec.org.banksPerGroup, 2u);
+    EXPECT_EQ(spec.org.totalBanks(), 32u);
+    EXPECT_EQ(spec.org.rowsPerBank, 65536u);
+    // 8 KiB rows = 128 cache lines.
+    EXPECT_EQ(spec.org.linesPerRow, 128u);
+    // 16 GiB channel.
+    EXPECT_EQ(spec.org.capacityBytes(), 16ull << 30);
+}
+
+TEST(SpecTest, TimingConversionConsistent)
+{
+    DramSpec spec = DramSpec::ddr5();
+    EXPECT_EQ(spec.timing.tRCD, nsToCycles(spec.timingNs.tRCD));
+    EXPECT_EQ(spec.timing.tRC,
+              nsToCycles(spec.timingNs.tRAS + spec.timingNs.tRP));
+    EXPECT_EQ(spec.timing.readLatency,
+              spec.timing.tCL + spec.timing.tBL);
+    EXPECT_GT(spec.timing.tREFI, spec.timing.tRFC);
+}
+
+TEST(SpecTest, Ddr4Differs)
+{
+    DramSpec d5 = DramSpec::ddr5();
+    DramSpec d4 = DramSpec::ddr4();
+    EXPECT_EQ(d4.org.bankGroups, 4u);
+    EXPECT_GT(d4.timing.tREFI, d5.timing.tREFI);
+    EXPECT_GT(d4.timing.tREFW, d5.timing.tREFW);
+}
+
+TEST(SpecTest, RefreshTimingRecomputes)
+{
+    DramSpec spec = DramSpec::ddr5();
+    Cycle before = spec.timing.tRAS;
+    spec.timingNs.tRAS += 10.0;
+    spec.refreshTiming();
+    EXPECT_EQ(spec.timing.tRAS, before + nsToCycles(10.0));
+}
+
+class AddressRoundtripTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(AddressRoundtripTest, DecodeEncodeRoundtrip)
+{
+    AddressMapper mapper(DramSpec::ddr5().org);
+    Rng rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        Addr addr = rng.next() % mapper.capacityBytes();
+        Addr line = addr & ~static_cast<Addr>(kCacheLineBytes - 1);
+        DramAddress da = mapper.decode(addr);
+        EXPECT_EQ(mapper.encode(da), line);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressRoundtripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(AddressTest, FieldsWithinBounds)
+{
+    DramOrg org = DramSpec::ddr5().org;
+    AddressMapper mapper(org);
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        DramAddress da = mapper.decode(rng.next());
+        EXPECT_LT(da.rank, org.ranks);
+        EXPECT_LT(da.bankGroup, org.bankGroups);
+        EXPECT_LT(da.bank, org.banksPerGroup);
+        EXPECT_LT(da.row, org.rowsPerBank);
+        EXPECT_LT(da.column, org.linesPerRow);
+        EXPECT_LT(mapper.flatBank(da), org.totalBanks());
+    }
+}
+
+TEST(AddressTest, MopKeepsGroupsTogether)
+{
+    AddressMapper mapper(DramSpec::ddr5().org, 4);
+    // Lines 0..3 share one (bank, row); line 4 moves to another bank.
+    DramAddress first = mapper.decode(0);
+    for (unsigned l = 1; l < 4; ++l) {
+        DramAddress da = mapper.decode(l * kCacheLineBytes);
+        EXPECT_EQ(mapper.flatBank(da), mapper.flatBank(first));
+        EXPECT_EQ(da.row, first.row);
+    }
+    DramAddress next = mapper.decode(4 * kCacheLineBytes);
+    EXPECT_NE(mapper.flatBank(next), mapper.flatBank(first));
+}
+
+TEST(AddressTest, FlatBankCoversAllBanks)
+{
+    DramOrg org = DramSpec::ddr5().org;
+    AddressMapper mapper(org);
+    std::vector<bool> seen(org.totalBanks(), false);
+    for (unsigned r = 0; r < org.ranks; ++r)
+        for (unsigned bg = 0; bg < org.bankGroups; ++bg)
+            for (unsigned b = 0; b < org.banksPerGroup; ++b) {
+                DramAddress da{r, bg, b, 0, 0};
+                unsigned fb = mapper.flatBank(da);
+                EXPECT_FALSE(seen[fb]);
+                seen[fb] = true;
+            }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+class TimingEngineTest : public ::testing::Test
+{
+  protected:
+    TimingEngineTest() : spec(DramSpec::ddr5()), engine(spec) {}
+    DramSpec spec;
+    TimingEngine engine;
+};
+
+TEST_F(TimingEngineTest, ActThenReadRespectsTrcd)
+{
+    EXPECT_TRUE(engine.canIssue(DramCommand::kAct, 0, 0));
+    engine.issueAct(0, 100, 0);
+    EXPECT_FALSE(engine.canIssue(DramCommand::kRead, 0,
+                                 spec.timing.tRCD - 1));
+    EXPECT_TRUE(engine.canIssue(DramCommand::kRead, 0, spec.timing.tRCD));
+}
+
+TEST_F(TimingEngineTest, ReadDataLatency)
+{
+    engine.issueAct(0, 1, 0);
+    Cycle t = spec.timing.tRCD;
+    Cycle ready = engine.issueRead(0, t);
+    EXPECT_EQ(ready, t + spec.timing.tCL + spec.timing.tBL);
+}
+
+TEST_F(TimingEngineTest, SameBankActSpacingIsTrc)
+{
+    engine.issueAct(0, 1, 0);
+    Cycle t = spec.timing.tRAS;
+    ASSERT_TRUE(engine.canIssue(DramCommand::kPre, 0, t));
+    engine.issuePre(0, t);
+    // Next ACT gated by both tRC from the ACT and tRP from the PRE
+    // (the two can differ by a rounding cycle after ns conversion).
+    Cycle gate = std::max(spec.timing.tRC, t + spec.timing.tRP);
+    EXPECT_FALSE(engine.canIssue(DramCommand::kAct, 0, gate - 1));
+    EXPECT_TRUE(engine.canIssue(DramCommand::kAct, 0, gate));
+}
+
+TEST_F(TimingEngineTest, RrdShortVsLong)
+{
+    // Bank 0 and bank 1 share a bank group (flat layout: rank-major).
+    engine.issueAct(0, 1, 0);
+    // Same bank group: tRRD_L applies.
+    EXPECT_FALSE(engine.canIssue(DramCommand::kAct, 1,
+                                 spec.timing.tRRD_L - 1));
+    EXPECT_TRUE(engine.canIssue(DramCommand::kAct, 1, spec.timing.tRRD_L));
+    // Different bank group (bank index 2): tRRD_S applies.
+    EXPECT_EQ(engine.bankGroupOf(2), 1u);
+    EXPECT_TRUE(engine.canIssue(DramCommand::kAct, 2, spec.timing.tRRD_S));
+}
+
+TEST_F(TimingEngineTest, FawBlocksFifthActivation)
+{
+    // Four ACTs to distinct bank groups, spaced by tRRD_S.
+    Cycle t = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        unsigned bank = i * 2; // Different bank groups.
+        EXPECT_TRUE(engine.canIssue(DramCommand::kAct, bank, t));
+        engine.issueAct(bank, 7, t);
+        t += spec.timing.tRRD_S;
+    }
+    // Fifth ACT in the same rank must wait for tFAW from the first.
+    unsigned fifth = 8;
+    EXPECT_FALSE(engine.canIssue(DramCommand::kAct, fifth, t));
+    EXPECT_TRUE(engine.canIssue(DramCommand::kAct, fifth,
+                                spec.timing.tFAW));
+    // The other rank is unaffected.
+    unsigned other_rank_bank = spec.org.banksPerRank();
+    EXPECT_TRUE(engine.canIssue(DramCommand::kAct, other_rank_bank, t));
+}
+
+TEST_F(TimingEngineTest, WriteDelaysPrechargeByWriteRecovery)
+{
+    engine.issueAct(0, 1, 0);
+    Cycle t = spec.timing.tRCD;
+    engine.issueWrite(0, t);
+    Cycle pre_ok =
+        t + spec.timing.tCWL + spec.timing.tBL + spec.timing.tWR;
+    EXPECT_FALSE(engine.canIssue(DramCommand::kPre, 0, pre_ok - 1));
+    EXPECT_TRUE(engine.canIssue(DramCommand::kPre, 0, pre_ok));
+}
+
+TEST_F(TimingEngineTest, ReadWriteTurnaround)
+{
+    engine.issueAct(0, 1, 0);
+    engine.issueAct(2, 1, spec.timing.tRRD_S);
+    Cycle t = spec.timing.tRCD + spec.timing.tRRD_S;
+    engine.issueRead(0, t);
+    // A write on the shared bus must wait for the read turnaround.
+    Cycle wr_ok = t + spec.timing.tCL + spec.timing.tBL + spec.timing.tRTW;
+    EXPECT_FALSE(engine.canIssue(DramCommand::kWrite, 2, wr_ok - 1));
+    EXPECT_TRUE(engine.canIssue(DramCommand::kWrite, 2, wr_ok));
+}
+
+TEST_F(TimingEngineTest, RefreshBlocksWholeRank)
+{
+    ASSERT_TRUE(engine.rankQuiesced(0, 0));
+    engine.issueRefresh(0, 0);
+    for (unsigned b = 0; b < spec.org.banksPerRank(); ++b) {
+        EXPECT_FALSE(engine.canIssue(DramCommand::kAct, b,
+                                     spec.timing.tRFC - 1));
+        EXPECT_TRUE(engine.canIssue(DramCommand::kAct, b,
+                                    spec.timing.tRFC));
+    }
+    // Other rank unaffected.
+    EXPECT_TRUE(
+        engine.canIssue(DramCommand::kAct, spec.org.banksPerRank(), 0));
+}
+
+TEST_F(TimingEngineTest, RefreshRequiresQuiescedRank)
+{
+    engine.issueAct(0, 1, 0);
+    EXPECT_FALSE(engine.rankQuiesced(0, 0));
+    engine.issuePre(0, spec.timing.tRAS);
+    EXPECT_TRUE(engine.rankQuiesced(0, spec.timing.tRAS));
+}
+
+TEST_F(TimingEngineTest, BlockBankClosesRowAndBlocks)
+{
+    engine.issueAct(0, 5, 0);
+    engine.blockBank(0, spec.timing.tRAS, 1000);
+    EXPECT_FALSE(engine.bank(0).open);
+    EXPECT_FALSE(engine.canIssue(DramCommand::kAct, 0,
+                                 spec.timing.tRAS + 999));
+    EXPECT_TRUE(engine.canIssue(DramCommand::kAct, 0,
+                                spec.timing.tRAS + 1000 + spec.timing.tRC));
+}
+
+TEST_F(TimingEngineTest, BlockRankBlocksAllBanks)
+{
+    engine.blockRank(1, 0, 500);
+    unsigned base = spec.org.banksPerRank();
+    for (unsigned i = 0; i < spec.org.banksPerRank(); ++i)
+        EXPECT_FALSE(engine.canIssue(DramCommand::kAct, base + i, 499));
+    EXPECT_TRUE(engine.canIssue(DramCommand::kAct, 0, 0));
+}
+
+TEST_F(TimingEngineTest, RfmBlocksBankForTrfm)
+{
+    engine.issueRfm(3, 0);
+    EXPECT_FALSE(engine.canIssue(DramCommand::kAct, 3,
+                                 spec.timing.tRFM - 1));
+    EXPECT_TRUE(engine.canIssue(DramCommand::kAct, 3, spec.timing.tRFM));
+    EXPECT_EQ(engine.energy().rfms(), 1u);
+}
+
+TEST_F(TimingEngineTest, EnergyCountsCommands)
+{
+    engine.issueAct(0, 1, 0);
+    Cycle t = spec.timing.tRCD;
+    engine.issueRead(0, t);
+    // Writes must respect the read-to-write bus turnaround.
+    Cycle wr_at = t + spec.timing.tCL + spec.timing.tBL + spec.timing.tRTW;
+    ASSERT_TRUE(engine.canIssue(DramCommand::kWrite, 0, wr_at));
+    engine.issueWrite(0, wr_at);
+    EXPECT_EQ(engine.energy().acts(), 1u);
+    EXPECT_EQ(engine.energy().reads(), 1u);
+    EXPECT_EQ(engine.energy().writes(), 1u);
+    EXPECT_GT(engine.energy().dynamicNj(), 0.0);
+}
+
+TEST(EnergyTest, TotalsAddUp)
+{
+    DramEnergy params;
+    EnergyAccounting e(params);
+    e.addAct();
+    e.addRead();
+    e.addVictimRefresh(2);
+    double expected =
+        params.actPreNj + params.rdNj + 2 * params.vrrPerRowNj;
+    EXPECT_NEAR(e.dynamicNj(), expected, 1e-9);
+    EXPECT_NEAR(e.preventiveNj(), 2 * params.vrrPerRowNj, 1e-9);
+    // Background: 2 ranks for 4.2M cycles = 1 ms -> 0.36 mJ at 180 mW/rank.
+    double bg = e.backgroundNj(msToCycles(1.0), 2);
+    EXPECT_NEAR(bg, 0.18 * 2 * 1e-3 * 1e9, 1e3);
+    EXPECT_NEAR(e.totalNj(msToCycles(1.0), 2), expected + bg, 1e3);
+}
+
+TEST(RowCensusTest, CountsRowsOverThresholds)
+{
+    RowCensus census(1000);
+    for (int i = 0; i < 600; ++i)
+        census.recordAct(0, 7, 10); // 600 ACTs to one row, window 1.
+    for (int i = 0; i < 70; ++i)
+        census.recordAct(0, 9, 10);
+    census.recordAct(0, 11, 2000); // Rolls into window 2.
+    census.flush(3000);
+
+    ASSERT_GE(census.windows().size(), 2u);
+    const auto &w0 = census.windows()[0];
+    EXPECT_EQ(w0.rows512, 1u);
+    EXPECT_EQ(w0.rows128, 1u);
+    EXPECT_EQ(w0.rows64, 2u);
+    EXPECT_EQ(w0.totalActs, 670u);
+}
+
+TEST(RowCensusTest, CurrentCountResetsAcrossWindows)
+{
+    RowCensus census(100);
+    census.recordAct(1, 5, 0);
+    EXPECT_EQ(census.currentCount(1, 5), 1u);
+    census.recordAct(1, 5, 250); // Two windows later.
+    EXPECT_EQ(census.currentCount(1, 5), 1u);
+    EXPECT_EQ(census.windows().size(), 2u);
+}
+
+} // namespace
+} // namespace bh

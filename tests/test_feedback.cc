@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the software-feedback monitor (§4 / §5.2): owner-level score
+ * aggregation and the defense against thread-rotation circumvention.
+ */
+#include <gtest/gtest.h>
+
+#include "breakhammer/feedback.h"
+#include "cache/mshr.h"
+
+namespace bh {
+namespace {
+
+struct Fixture
+{
+    Fixture() : mshr(64, 4), bh(4, config(), &mshr), monitor(&bh, 4) {}
+
+    static BreakHammerConfig
+    config()
+    {
+        BreakHammerConfig c;
+        c.window = 10000;
+        c.thThreat = 4.0;
+        return c;
+    }
+
+    void
+    act(ThreadId thread, Cycle now)
+    {
+        bh.onDemandActivate(thread, 0, now);
+        bh.onPreventiveAction(1.0, now);
+    }
+
+    MshrFile mshr;
+    BreakHammer bh;
+    SoftwareMonitor monitor;
+};
+
+TEST(FeedbackTest, AccreditsScoreToBoundOwner)
+{
+    Fixture f;
+    f.monitor.bind(0, 100);
+    f.act(0, 1);
+    f.act(0, 2);
+    f.monitor.poll();
+    EXPECT_NEAR(f.monitor.ownerScore(100), 2.0, 1e-12);
+    EXPECT_NEAR(f.monitor.ownerScore(999), 0.0, 1e-12);
+}
+
+TEST(FeedbackTest, UnboundThreadsDropScore)
+{
+    Fixture f;
+    f.act(1, 1);
+    f.monitor.poll();
+    EXPECT_TRUE(f.monitor.flaggedOwners(0.5).empty());
+}
+
+TEST(FeedbackTest, PollIsIncremental)
+{
+    Fixture f;
+    f.monitor.bind(0, 7);
+    f.act(0, 1);
+    f.monitor.poll();
+    f.monitor.poll(); // No new actions: no double counting.
+    EXPECT_NEAR(f.monitor.ownerScore(7), 1.0, 1e-12);
+    f.act(0, 2);
+    f.monitor.poll();
+    EXPECT_NEAR(f.monitor.ownerScore(7), 2.0, 1e-12);
+}
+
+TEST(FeedbackTest, OwnerSurvivesThreadRotation)
+{
+    // §5.2 circumvention: the attacker rotates across hardware threads;
+    // per-thread scores stay small, but the owner total accumulates.
+    Fixture f;
+    for (ThreadId t = 0; t < 4; ++t)
+        f.monitor.bind(t, 42);
+    for (ThreadId t = 0; t < 4; ++t) {
+        f.act(t, 10 + t);
+        f.monitor.poll();
+    }
+    // No single thread reached the threat threshold...
+    for (ThreadId t = 0; t < 4; ++t)
+        EXPECT_LT(f.bh.score(t), f.bh.config().thThreat);
+    // ...but the owner total did.
+    EXPECT_NEAR(f.monitor.ownerScore(42), 4.0, 1e-12);
+    auto flagged = f.monitor.flaggedOwners(4.0);
+    ASSERT_EQ(flagged.size(), 1u);
+    EXPECT_EQ(flagged[0], 42u);
+}
+
+TEST(FeedbackTest, WindowResetDoesNotErodeOwnerTotal)
+{
+    Fixture f;
+    f.monitor.bind(0, 9);
+    f.act(0, 1);
+    f.monitor.poll();
+    // Two window boundaries wipe the per-thread counters...
+    f.bh.rollWindows(2 * Fixture::config().window + 1);
+    EXPECT_NEAR(f.bh.score(0), 0.0, 1e-12);
+    f.monitor.poll();
+    // ...but the cumulative owner score persists.
+    EXPECT_NEAR(f.monitor.ownerScore(9), 1.0, 1e-12);
+    // And new activity keeps accumulating.
+    f.act(0, 2 * Fixture::config().window + 10);
+    f.monitor.poll();
+    EXPECT_NEAR(f.monitor.ownerScore(9), 2.0, 1e-12);
+}
+
+TEST(FeedbackTest, RebindMovesAccreditation)
+{
+    Fixture f;
+    f.monitor.bind(2, 5);
+    f.act(2, 1);
+    f.monitor.poll();
+    f.monitor.bind(2, 6);
+    f.act(2, 2);
+    f.monitor.poll();
+    EXPECT_NEAR(f.monitor.ownerScore(5), 1.0, 1e-12);
+    EXPECT_NEAR(f.monitor.ownerScore(6), 1.0, 1e-12);
+    EXPECT_EQ(f.monitor.ownerOf(2), 6u);
+}
+
+TEST(FeedbackTest, ForgetErasesOwner)
+{
+    Fixture f;
+    f.monitor.bind(0, 3);
+    f.act(0, 1);
+    f.monitor.poll();
+    f.monitor.forget(3);
+    EXPECT_NEAR(f.monitor.ownerScore(3), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace bh

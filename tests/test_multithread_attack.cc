@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Empirical §5.2 experiments: multi-threaded attacks against BreakHammer's
+ * suspect identification on an 8-core system.
+ *
+ * Rigging: with few attack threads, each one is an outlier and gets
+ * detected; once the attacker controls enough threads that
+ * (1 + TH_outlier) * attacker_fraction >= 1, attack behaviour *is* the
+ * mean and detection breaks down — exactly Expression 2's prediction.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "breakhammer/security_model.h"
+#include "sim/system.h"
+
+namespace bh {
+namespace {
+
+/** Run an 8-core mix with @p attackers attacker threads; report marks. */
+struct AttackOutcome
+{
+    std::uint64_t benignMarks = 0;
+    std::uint64_t attackerMarks = 0;
+};
+
+AttackOutcome
+runEightCore(unsigned attackers, double th_outlier)
+{
+    const unsigned cores = 8;
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.mitigation = MitigationType::kPara;
+    cfg.nRh = 512;
+    cfg.breakHammer = true;
+    cfg.bh.window = 200000;
+    cfg.bh.thThreat = 2.0;
+    cfg.bh.thOutlier = th_outlier;
+
+    const char *benign_apps[] = {"mcf_like",   "lbm_like",
+                                 "parest_like", "tpcc_like",
+                                 "namd_like",  "h264_like",
+                                 "zeusmp_like", "cactus_like"};
+    std::vector<WorkloadSlot> slots(cores);
+    for (unsigned i = 0; i < cores; ++i) {
+        if (i >= cores - attackers) {
+            slots[i].kind = WorkloadSlot::Kind::kAttacker;
+            slots[i].attacker.numBanks = 8;
+        } else {
+            slots[i].appName = benign_apps[i];
+        }
+    }
+
+    System sys(cfg, slots);
+    sys.run(50000, 15000000);
+
+    AttackOutcome out;
+    const BreakHammer *bh = sys.breakHammer();
+    for (unsigned i = 0; i < cores; ++i) {
+        bool marked = bh->isSuspect(i) || bh->wasRecentSuspect(i) ||
+                      bh->quota(i) < 64;
+        if (i >= cores - attackers) {
+            out.attackerMarks += marked ? 1 : 0;
+        } else {
+            out.benignMarks += marked ? 1 : 0;
+        }
+    }
+    return out;
+}
+
+TEST(MultiThreadAttackTest, SingleAttackerIsDetected)
+{
+    AttackOutcome out = runEightCore(1, 0.65);
+    EXPECT_EQ(out.attackerMarks, 1u);
+    // Benign misidentification exists but stays a small minority (the
+    // paper itself reports 18.7% of simulations marking a benign app).
+    EXPECT_LE(out.benignMarks, 2u);
+}
+
+TEST(MultiThreadAttackTest, TwoAttackersBothDetected)
+{
+    AttackOutcome out = runEightCore(2, 0.65);
+    EXPECT_EQ(out.attackerMarks, 2u);
+    EXPECT_LE(out.benignMarks, 2u);
+}
+
+TEST(MultiThreadAttackTest, RiggedMeanEvadesDetection)
+{
+    // 7 of 8 threads attack: fraction 0.875; with TH_outlier = 0.05 the
+    // rigging bound (1.05 * 0.875 < 1) is barely not met, but with the
+    // attack threads behaving identically none can exceed the mean by
+    // 1.65x when they ARE 7/8 of the mean — at TH_outlier = 0.65 the
+    // analytic bound is unbounded: (1 + 0.65) * 0.875 > 1.
+    EXPECT_TRUE(std::isinf(maxAttackerScoreBound(0.875, 0.65)));
+    AttackOutcome out = runEightCore(7, 0.65);
+    // Detection collapses: most attack threads evade.
+    EXPECT_LT(out.attackerMarks, 7u);
+}
+
+TEST(MultiThreadAttackTest, TighterOutlierRaisesTheBar)
+{
+    // Expression 2: lowering TH_outlier lowers the score an attacker can
+    // reach undetected (monotonicity of the analytic bound).
+    EXPECT_LT(maxAttackerScoreBound(0.5, 0.05),
+              maxAttackerScoreBound(0.5, 0.65));
+    EXPECT_LT(maxAttackerScoreBound(0.25, 0.05),
+              maxAttackerScoreBound(0.25, 0.65));
+}
+
+/** Detection sweep: attackers in 1..4 of 8 threads stay detectable. */
+class AttackerCountSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(AttackerCountSweep, MajorityBenignStillDetects)
+{
+    unsigned attackers = GetParam();
+    AttackOutcome out = runEightCore(attackers, 0.65);
+    // Below the rigging bound, at least one attack thread gets caught,
+    // and marked benign threads stay a minority of the benign pool.
+    EXPECT_GE(out.attackerMarks, 1u);
+    EXPECT_LE(out.benignMarks, (8 - attackers) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, AttackerCountSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+} // namespace
+} // namespace bh

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Security property tests: the RowHammer oracle checks that every
+ * mitigation mechanism keeps every row's activation count (since its
+ * victims were last refreshed) below N_RH — under a worst-case hammering
+ * workload, with and without BreakHammer attached.
+ *
+ * This is the paper's central robustness claim (§5.1): BreakHammer must
+ * not weaken the protection of the mechanism it is paired with.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/oracle.h"
+#include "sim/system.h"
+
+namespace bh {
+namespace {
+
+std::vector<WorkloadSlot>
+hammerSlots(unsigned aggressors)
+{
+    // Two attackers + two benign: maximal hammer pressure plus enough
+    // benign traffic to exercise attribution.
+    std::vector<WorkloadSlot> slots(4);
+    slots[0].appName = "mcf_like";
+    slots[1].appName = "libquantum_like";
+    for (int i = 2; i < 4; ++i) {
+        slots[i].kind = WorkloadSlot::Kind::kAttacker;
+        slots[i].attacker.numAggressors = aggressors;
+        slots[i].attacker.numBanks = 4; // Concentrate the hammering.
+    }
+    return slots;
+}
+
+struct SecurityCase
+{
+    MitigationType mechanism;
+    unsigned nRh;
+    bool breakHammer;
+};
+
+class SecurityPropertyTest : public ::testing::TestWithParam<SecurityCase>
+{};
+
+TEST_P(SecurityPropertyTest, NoRowReachesThreshold)
+{
+    const SecurityCase &c = GetParam();
+    SystemConfig cfg;
+    cfg.mitigation = c.mechanism;
+    cfg.nRh = c.nRh;
+    cfg.breakHammer = c.breakHammer;
+    cfg.bh.window = 150000;
+    cfg.bh.thThreat = 2.0;
+    cfg.enableOracle = true;
+
+    System sys(cfg, hammerSlots(4));
+    RunResult r = sys.run(40000, 30000000);
+
+    EXPECT_EQ(r.oracleViolations, 0u)
+        << mitigationName(c.mechanism) << " N_RH=" << c.nRh
+        << " max=" << r.oracleMaxCount;
+    EXPECT_LT(r.oracleMaxCount, c.nRh);
+    // The run must actually hammer for the check to mean anything
+    // (BlockHammer legitimately suppresses activations, hence the
+    // conservative floor).
+    EXPECT_GT(r.demandActs, 3000u);
+}
+
+std::vector<SecurityCase>
+securityCases()
+{
+    std::vector<SecurityCase> cases;
+    // Deterministic mechanisms with explicit preventive actions.
+    for (MitigationType m :
+         {MitigationType::kPara, MitigationType::kGraphene,
+          MitigationType::kHydra, MitigationType::kTwice,
+          MitigationType::kAqua, MitigationType::kRfm,
+          MitigationType::kPrac, MitigationType::kBlockHammer}) {
+        for (unsigned n_rh : {256u, 1024u}) {
+            cases.push_back({m, n_rh, false});
+            cases.push_back({m, n_rh, true});
+        }
+    }
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<SecurityCase> &info)
+{
+    std::string name = mitigationName(info.param.mechanism);
+    name += "_nrh" + std::to_string(info.param.nRh);
+    name += info.param.breakHammer ? "_BH" : "_base";
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, SecurityPropertyTest,
+                         ::testing::ValuesIn(securityCases()), caseName);
+
+TEST(OracleTest, CountsAndResets)
+{
+    HammerOracle oracle(DramSpec::ddr5().org, 100);
+    for (int i = 0; i < 99; ++i)
+        oracle.onActivate(0, 5);
+    EXPECT_EQ(oracle.violations(), 0u);
+    EXPECT_EQ(oracle.maxCount(), 99u);
+    oracle.onActivate(0, 5);
+    EXPECT_EQ(oracle.violations(), 1u);
+    oracle.onRowProtected(0, 5);
+    for (int i = 0; i < 50; ++i)
+        oracle.onActivate(0, 5);
+    EXPECT_EQ(oracle.violations(), 1u); // No new violation after reset.
+}
+
+TEST(OracleTest, RefreshSweepResetsInteriorRows)
+{
+    HammerOracle oracle(DramSpec::ddr5().org, 1000);
+    for (int i = 0; i < 500; ++i)
+        oracle.onActivate(0, 10);
+    // Sweep rows [9, 17): row 10's victims (9 and 11) are both inside.
+    oracle.onRefreshSweep(0, 9, 8);
+    for (int i = 0; i < 600; ++i)
+        oracle.onActivate(0, 10);
+    EXPECT_EQ(oracle.violations(), 0u);
+}
+
+TEST(OracleTest, EdgeRowsKeepCountsAfterSweep)
+{
+    HammerOracle oracle(DramSpec::ddr5().org, 1000);
+    for (int i = 0; i < 500; ++i)
+        oracle.onActivate(0, 9); // First swept row: victim 8 outside.
+    oracle.onRefreshSweep(0, 9, 8);
+    for (int i = 0; i < 600; ++i)
+        oracle.onActivate(0, 9);
+    EXPECT_EQ(oracle.violations(), 1u); // Conservative: not reset.
+}
+
+TEST(OracleTest, NarrowSweepIgnored)
+{
+    HammerOracle oracle(DramSpec::ddr5().org, 10);
+    for (int i = 0; i < 5; ++i)
+        oracle.onActivate(0, 3);
+    oracle.onRefreshSweep(0, 2, 2);
+    EXPECT_EQ(oracle.maxCount(), 5u);
+}
+
+} // namespace
+} // namespace bh

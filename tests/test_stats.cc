@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for src/stats: histogram percentiles and workload metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+#include "stats/metrics.h"
+
+namespace bh {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram)
+{
+    Histogram h(1.0, 16);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleSample)
+{
+    Histogram h(1.0, 16);
+    h.record(5.2);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_NEAR(h.mean(), 5.2, 1e-9);
+    EXPECT_NEAR(h.percentile(100), 5.2, 1e-9);
+}
+
+TEST(HistogramTest, MedianOfUniformRamp)
+{
+    Histogram h(1.0, 128);
+    for (int i = 0; i < 100; ++i)
+        h.record(static_cast<double>(i) + 0.5);
+    double median = h.percentile(50);
+    EXPECT_NEAR(median, 50.0, 1.5);
+    // Percentiles must be monotone.
+    double prev = 0.0;
+    for (double p = 1; p <= 100; p += 1) {
+        double v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(HistogramTest, OverflowBinReportsMax)
+{
+    Histogram h(1.0, 8);
+    h.record(100.0); // Beyond the last bin.
+    h.record(200.0);
+    EXPECT_NEAR(h.percentile(99), 200.0, 1e-9);
+    EXPECT_NEAR(h.max(), 200.0, 1e-9);
+}
+
+TEST(HistogramTest, NegativeClampsToZero)
+{
+    Histogram h(1.0, 8);
+    h.record(-3.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_NEAR(h.percentile(100), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, MergeCombinesCounts)
+{
+    Histogram a(1.0, 32), b(1.0, 32);
+    for (int i = 0; i < 10; ++i)
+        a.record(1.0);
+    for (int i = 0; i < 10; ++i)
+        b.record(21.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 20u);
+    EXPECT_NEAR(a.mean(), 11.0, 1e-9);
+    EXPECT_GT(a.percentile(90), 20.0);
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    Histogram h(1.0, 8);
+    h.record(3.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(MetricsTest, WeightedSpeedupIdentity)
+{
+    std::vector<double> shared = {1.0, 2.0, 0.5};
+    EXPECT_NEAR(weightedSpeedup(shared, shared), 3.0, 1e-12);
+}
+
+TEST(MetricsTest, WeightedSpeedupHalved)
+{
+    std::vector<double> alone = {2.0, 2.0};
+    std::vector<double> shared = {1.0, 1.0};
+    EXPECT_NEAR(weightedSpeedup(shared, alone), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, MaxSlowdownPicksWorst)
+{
+    std::vector<double> alone = {2.0, 3.0, 1.0};
+    std::vector<double> shared = {1.0, 1.0, 0.9};
+    EXPECT_NEAR(maxSlowdown(shared, alone), 3.0, 1e-12);
+}
+
+TEST(MetricsTest, GeomeanBasics)
+{
+    EXPECT_NEAR(geomean({4.0, 1.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({}), 1.0, 1e-12);
+    EXPECT_NEAR(geomean({5.0}), 5.0, 1e-12);
+}
+
+TEST(MetricsTest, MeanBasics)
+{
+    EXPECT_NEAR(mean({1.0, 2.0, 3.0}), 2.0, 1e-12);
+    EXPECT_NEAR(mean({}), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, BoxStatsOrdering)
+{
+    BoxStats s = boxStats({5, 1, 4, 2, 3});
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_LE(s.q1, s.median);
+    EXPECT_LE(s.median, s.q3);
+}
+
+TEST(MetricsTest, BoxStatsEmptyAndSingle)
+{
+    BoxStats e = boxStats({});
+    EXPECT_DOUBLE_EQ(e.median, 0.0);
+    BoxStats s = boxStats({7.0});
+    EXPECT_DOUBLE_EQ(s.min, 7.0);
+    EXPECT_DOUBLE_EQ(s.max, 7.0);
+    EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+/** Property sweep: percentile interpolation stays within observed range. */
+class HistogramPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(HistogramPropertyTest, PercentilesWithinRange)
+{
+    int seed = GetParam();
+    Histogram h(0.5, 256);
+    double lo = 1e18, hi = -1;
+    unsigned x = static_cast<unsigned>(seed) * 2654435761u + 1;
+    for (int i = 0; i < 500; ++i) {
+        x = x * 1664525u + 1013904223u;
+        double v = static_cast<double>(x % 100000) / 1000.0;
+        h.record(v);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+        double v = h.percentile(p);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, hi + 0.5); // Bin-width slack.
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace bh

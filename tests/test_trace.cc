@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for src/trace: benign generators, attacker generators, the
+ * application catalog, and the functional profiler (Table 3 statistics).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/address.h"
+#include "dram/spec.h"
+#include "trace/attacker.h"
+#include "trace/benign.h"
+#include "trace/profiler.h"
+
+namespace bh {
+namespace {
+
+AddressMapper &
+mapper()
+{
+    static AddressMapper m(DramSpec::ddr5().org);
+    return m;
+}
+
+TEST(CatalogTest, AllTiersPopulated)
+{
+    EXPECT_GE(appsInTier(IntensityTier::kHigh).size(), 5u);
+    EXPECT_GE(appsInTier(IntensityTier::kMedium).size(), 5u);
+    EXPECT_GE(appsInTier(IntensityTier::kLow).size(), 5u);
+}
+
+TEST(CatalogTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const AppProfile &p : appCatalog())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(CatalogTest, FindAppReturnsMatch)
+{
+    const AppProfile &p = findApp("mcf_like");
+    EXPECT_EQ(p.name, "mcf_like");
+    EXPECT_EQ(p.tier, IntensityTier::kHigh);
+}
+
+TEST(BenignTraceTest, Deterministic)
+{
+    const AppProfile &p = findApp("mcf_like");
+    BenignTrace a(p, mapper(), 0, 8192, 42);
+    BenignTrace b(p, mapper(), 0, 8192, 42);
+    for (int i = 0; i < 1000; ++i) {
+        TraceRecord ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.addr, rb.addr);
+        EXPECT_EQ(ra.bubbles, rb.bubbles);
+        EXPECT_EQ(ra.isWrite, rb.isWrite);
+    }
+}
+
+TEST(BenignTraceTest, StaysInRowRegion)
+{
+    const AppProfile &p = findApp("lbm_like");
+    const unsigned base = 8192, span = 8192;
+    BenignTrace t(p, mapper(), base, span, 7);
+    for (int i = 0; i < 20000; ++i) {
+        DramAddress da = mapper().decode(t.next().addr);
+        EXPECT_GE(da.row, base);
+        EXPECT_LT(da.row, base + span);
+    }
+}
+
+TEST(BenignTraceTest, BubblesMatchProfileMean)
+{
+    const AppProfile &p = findApp("namd_like");
+    BenignTrace t(p, mapper(), 0, 8192, 3);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += t.next().bubbles;
+    EXPECT_NEAR(sum / n, p.avgBubbles, p.avgBubbles * 0.05);
+}
+
+TEST(BenignTraceTest, WriteFractionMatchesProfile)
+{
+    const AppProfile &p = findApp("lbm_like");
+    BenignTrace t(p, mapper(), 0, 8192, 5);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (t.next().isWrite)
+            ++writes;
+    EXPECT_NEAR(static_cast<double>(writes) / n, p.writeFraction, 0.02);
+}
+
+TEST(BenignTraceTest, BenignIsCached)
+{
+    const AppProfile &p = findApp("mcf_like");
+    BenignTrace t(p, mapper(), 0, 8192, 5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(t.next().uncached);
+}
+
+TEST(BenignTraceTest, SequentialLocalityProducesRowRuns)
+{
+    // A highly sequential profile should often revisit the (bank,row) of
+    // the previous access.
+    AppProfile p = findApp("libquantum_like");
+    p.rowLocality = 0.92;
+    BenignTrace t(p, mapper(), 0, 8192, 11);
+    unsigned same = 0;
+    DramAddress prev = mapper().decode(t.next().addr);
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        DramAddress da = mapper().decode(t.next().addr);
+        if (da.row == prev.row && mapper().flatBank(da) ==
+                                      mapper().flatBank(prev))
+            ++same;
+        prev = da;
+    }
+    EXPECT_GT(same, n / 2);
+}
+
+TEST(AttackerTest, EveryAccessIsUncachedRead)
+{
+    AttackerConfig cfg;
+    cfg.rowBase = 100;
+    AttackerTrace t(cfg, mapper(), 1);
+    for (int i = 0; i < 1000; ++i) {
+        TraceRecord r = t.next();
+        EXPECT_TRUE(r.uncached);
+        EXPECT_FALSE(r.isWrite);
+    }
+}
+
+TEST(AttackerTest, CyclesBanksInInnerLoop)
+{
+    AttackerConfig cfg;
+    cfg.rowBase = 100;
+    AttackerTrace t(cfg, mapper(), 1);
+    DramAddress first = mapper().decode(t.next().addr);
+    DramAddress second = mapper().decode(t.next().addr);
+    EXPECT_NE(mapper().flatBank(first), mapper().flatBank(second));
+    EXPECT_EQ(first.row, second.row);
+}
+
+TEST(AttackerTest, HammersConfiguredAggressorRows)
+{
+    AttackerConfig cfg;
+    cfg.rowBase = 200;
+    cfg.numAggressors = 4;
+    cfg.rowSpacing = 2;
+    AttackerTrace t(cfg, mapper(), 1);
+    std::set<unsigned> rows;
+    for (int i = 0; i < 1000; ++i)
+        rows.insert(mapper().decode(t.next().addr).row);
+    EXPECT_EQ(rows.size(), 4u);
+    EXPECT_TRUE(rows.count(200));
+    EXPECT_TRUE(rows.count(206));
+}
+
+TEST(AttackerTest, LimitedBankFootprint)
+{
+    AttackerConfig cfg;
+    cfg.rowBase = 10;
+    cfg.numBanks = 4;
+    AttackerTrace t(cfg, mapper(), 1);
+    std::set<unsigned> banks;
+    for (int i = 0; i < 500; ++i)
+        banks.insert(mapper().flatBank(mapper().decode(t.next().addr)));
+    EXPECT_EQ(banks.size(), 4u);
+}
+
+TEST(ProfilerTest, TierOrderingHolds)
+{
+    LlcConfig llc; // Table 1 LLC.
+    auto profile_of = [&](const char *name) {
+        BenignTrace t(findApp(name), mapper(), 0, 8192, 17);
+        return profileTrace(t, mapper(), llc, 400000);
+    };
+    TraceProfile high = profile_of("mcf_like");
+    TraceProfile medium = profile_of("parest_like");
+    TraceProfile low = profile_of("namd_like");
+    EXPECT_GT(high.rbmpki, medium.rbmpki);
+    EXPECT_GT(medium.rbmpki, low.rbmpki);
+    EXPECT_LT(low.rbmpki, 10.0);
+}
+
+TEST(ProfilerTest, HotRowWorkloadsShowActTail)
+{
+    // A profile with a concentrated hot-row set (the mechanism behind the
+    // ACT tails of Table 3, at a test-sized scale).
+    AppProfile hot_profile = findApp("mcf_like");
+    hot_profile.hotRows = 64;
+    hot_profile.hotFraction = 0.6;
+    hot_profile.avgBubbles = 4;
+    LlcConfig llc;
+    BenignTrace hot(hot_profile, mapper(), 0, 8192, 19);
+    TraceProfile p =
+        profileTrace(hot, mapper(), llc, 2000000, 1.0 /* 1M-inst windows */);
+    EXPECT_GT(p.meanRows64, 0.0);
+    // And a cold streaming profile has no such tail.
+    BenignTrace cold(findApp("libquantum_like"), mapper(), 0, 8192, 19);
+    TraceProfile pc = profileTrace(cold, mapper(), llc, 500000, 1.0);
+    EXPECT_DOUBLE_EQ(pc.meanRows512, 0.0);
+}
+
+TEST(ProfilerTest, AttackerHasExtremeRbmpki)
+{
+    LlcConfig llc;
+    AttackerConfig cfg;
+    cfg.rowBase = 50;
+    AttackerTrace t(cfg, mapper(), 23);
+    TraceProfile p = profileTrace(t, mapper(), llc, 100000);
+    // Every access is a row miss: RBMPKI ~ 1000 / (bubbles + 1).
+    EXPECT_GT(p.rbmpki, 200.0);
+}
+
+} // namespace
+} // namespace bh
