@@ -15,64 +15,40 @@ namespace {
 
 using namespace bh;
 
-struct AblationResult
+struct Variant
 {
-    double weightedSpeedup = 0;
-    std::uint64_t suspectMarks = 0;
-    std::uint64_t preventiveActions = 0;
+    const char *name;
+    ScoreAttribution attribution;
+    bool singleSet;
+    bool blunt;
 };
 
-AblationResult
-run(const MixSpec &mix, MitigationType mech, unsigned n_rh,
-    ScoreAttribution attribution, bool single_set, bool blunt)
+ExperimentConfig
+variantConfig(const MixSpec &mix, MitigationType mech, unsigned n_rh,
+              const Variant &v)
 {
-    std::uint64_t insts = defaultInstructions();
-    SystemConfig sys;
-    sys.numCores = static_cast<unsigned>(mix.slots.size());
-    sys.spec = DramSpec::ddr5();
-    applyTimingSideEffects(mech, n_rh, &sys.spec);
-    sys.mitigation = mech;
-    sys.nRh = n_rh;
-    sys.breakHammer = true;
-    sys.bh = scaledBreakHammerConfig(insts);
-    sys.bh.attribution = attribution;
-    sys.bh.singleCounterSet = single_set;
-    sys.bluntThrottle = blunt;
-
-    System system(sys, mix.slots);
-    RunResult raw = system.run(insts, insts * 150);
-
-    std::vector<double> alone;
-    for (const std::string &app : benignApps(mix))
-        alone.push_back(soloIpc(app, insts));
-
-    AblationResult out;
-    out.weightedSpeedup = weightedSpeedup(raw.benignIpcs(), alone);
-    out.suspectMarks = raw.suspectMarks;
-    out.preventiveActions = raw.preventiveActions;
-    return out;
+    ExperimentConfig cfg;
+    cfg.mix = mix;
+    cfg.mechanism = mech;
+    cfg.nRh = n_rh;
+    cfg.breakHammer = true;
+    cfg.bh = scaledBreakHammerConfig(defaultInstructions());
+    cfg.bh.attribution = v.attribution;
+    cfg.bh.singleCounterSet = v.singleSet;
+    cfg.bluntThrottle = v.blunt;
+    return cfg;
 }
 
 } // namespace
 
-int
-main()
+BH_BENCH_FIGURE("ablation", "Ablations: BreakHammer design choices",
+                "DESIGN.md §4")
 {
-    using namespace bh;
     using namespace bh::benchutil;
-
-    header("Ablations: BreakHammer design choices", "DESIGN.md §4");
 
     const unsigned n_rh = 512;
     const MitigationType mech = MitigationType::kGraphene;
 
-    struct Variant
-    {
-        const char *name;
-        ScoreAttribution attribution;
-        bool singleSet;
-        bool blunt;
-    };
     const Variant variants[] = {
         {"paper (prop/2set/merge)", ScoreAttribution::kProportional, false,
          false},
@@ -83,17 +59,23 @@ main()
         {"blunt throttle", ScoreAttribution::kProportional, false, true},
     };
 
+    std::vector<ExperimentConfig> grid;
+    for (const Variant &v : variants)
+        for (const std::string &pattern : attackMixPatterns())
+            grid.push_back(variantConfig(makeMix(pattern, 0), mech, n_rh,
+                                         v));
+    ctx.pool->prefetch(grid);
+
     std::printf("%-26s %10s %10s %12s\n", "variant", "WS(attack)",
                 "marks", "prev.actions");
     for (const Variant &v : variants) {
         std::vector<double> ws;
         std::uint64_t marks = 0, actions = 0;
         for (const std::string &pattern : attackMixPatterns()) {
-            MixSpec mix = makeMix(pattern, 0);
-            AblationResult r =
-                run(mix, mech, n_rh, v.attribution, v.singleSet, v.blunt);
+            const ExperimentResult &r = ctx.pool->get(
+                variantConfig(makeMix(pattern, 0), mech, n_rh, v));
             ws.push_back(r.weightedSpeedup);
-            marks += r.suspectMarks;
+            marks += r.raw.suspectMarks;
             actions += r.preventiveActions;
         }
         std::printf("%-26s %10.3f %10llu %12llu\n", v.name, geomean(ws),
@@ -102,5 +84,4 @@ main()
     }
     std::printf("\n(Graphene at N_RH=512 across the attack mix classes; "
                 "WS is geomean weighted speedup of benign apps)\n");
-    return 0;
 }

@@ -5,25 +5,31 @@
  * Every bench prints the same rows/series the paper's figure reports,
  * scaled by BH_INSTS / BH_MIXES / BH_FULL (see sim/experiment.h). Results
  * are raw text tables so diffs against EXPERIMENTS.md stay reviewable.
+ *
+ * Experiment points route through the Context's shared ExperimentPool:
+ * figures declare their full grid with prefetch() (simulated in parallel
+ * at --jobs=N, deduped across figures), then render from the cache.
  */
 #pragma once
 
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "bench/registry.h"
 #include "sim/experiment.h"
 #include "stats/metrics.h"
 
 namespace bh::benchutil {
 
+using bench::Context;
+
 /** Print the standard bench header with the scale knobs in effect. */
 inline void
-header(const char *title, const char *paper_ref)
+header(const std::string &title, const std::string &paper_ref)
 {
-    std::printf("==== %s ====\n", title);
-    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("==== %s ====\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
     std::printf("scale: BH_INSTS=%llu BH_MIXES=%u%s\n\n",
                 static_cast<unsigned long long>(defaultInstructions()),
                 mixesPerClass(),
@@ -52,37 +58,43 @@ benignMixes()
     return mixes;
 }
 
-/** Cache of per-mix no-mitigation baselines (N_RH independent). */
-class BaselineCache
-{
-  public:
-    const ExperimentResult &
-    get(const MixSpec &mix)
-    {
-        auto it = cache.find(mix.name);
-        if (it != cache.end())
-            return it->second;
-        ExperimentConfig cfg;
-        cfg.mix = mix;
-        cfg.mechanism = MitigationType::kNone;
-        return cache.emplace(mix.name, runExperiment(cfg)).first->second;
-    }
-
-  private:
-    std::map<std::string, ExperimentResult> cache;
-};
-
-/** Run one (mix, mechanism, N_RH, BH) point. */
-inline ExperimentResult
-point(const MixSpec &mix, MitigationType mech, unsigned n_rh,
-      bool break_hammer)
+/** Config of one (mix, mechanism, N_RH, BH) point. */
+inline ExperimentConfig
+pointConfig(const MixSpec &mix, MitigationType mech, unsigned n_rh,
+            bool break_hammer)
 {
     ExperimentConfig cfg;
     cfg.mix = mix;
     cfg.mechanism = mech;
     cfg.nRh = n_rh;
     cfg.breakHammer = break_hammer;
-    return runExperiment(cfg);
+    return cfg;
+}
+
+/**
+ * Config of a mix's no-mitigation baseline. N_RH is irrelevant without a
+ * mechanism; pinning it keeps the cache key (and thus the simulation)
+ * shared by every figure that normalizes against the baseline.
+ */
+inline ExperimentConfig
+baselineConfig(const MixSpec &mix)
+{
+    return pointConfig(mix, MitigationType::kNone, 1024, false);
+}
+
+/** Cached result of one (mix, mechanism, N_RH, BH) point. */
+inline const ExperimentResult &
+point(Context &ctx, const MixSpec &mix, MitigationType mech, unsigned n_rh,
+      bool break_hammer)
+{
+    return ctx.pool->get(pointConfig(mix, mech, n_rh, break_hammer));
+}
+
+/** Cached no-mitigation baseline of @p mix. */
+inline const ExperimentResult &
+baseline(Context &ctx, const MixSpec &mix)
+{
+    return ctx.pool->get(baselineConfig(mix));
 }
 
 } // namespace bh::benchutil

@@ -7,21 +7,26 @@
  */
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig02", "Fig 2: baseline mitigation overheads (benign)",
+                "paper Fig 2 (§3)")
 {
     using namespace bh;
     using namespace bh::benchutil;
-
-    header("Fig 2: baseline mitigation overheads (benign workloads)",
-           "paper Fig 2 (§3)");
 
     const std::vector<MitigationType> mechanisms = {
         MitigationType::kHydra, MitigationType::kRfm,
         MitigationType::kPara, MitigationType::kAqua};
 
     std::vector<MixSpec> mixes = benignMixes();
-    BaselineCache baselines;
+
+    std::vector<ExperimentConfig> grid;
+    for (const MixSpec &mix : mixes) {
+        grid.push_back(baselineConfig(mix));
+        for (unsigned n_rh : nrhSweep())
+            for (MitigationType mech : mechanisms)
+                grid.push_back(pointConfig(mix, mech, n_rh, false));
+    }
+    ctx.pool->prefetch(grid);
 
     std::printf("%-8s", "NRH");
     for (MitigationType m : mechanisms)
@@ -34,13 +39,13 @@ main()
         for (MitigationType mech : mechanisms) {
             std::vector<double> normalized;
             for (const MixSpec &mix : mixes) {
-                double base = baselines.get(mix).weightedSpeedup;
-                ExperimentResult r = point(mix, mech, n_rh, false);
+                double base = baseline(ctx, mix).weightedSpeedup;
+                const ExperimentResult &r = point(ctx, mix, mech, n_rh,
+                                                  false);
                 normalized.push_back(r.weightedSpeedup / base);
             }
             std::printf(" %12.3f", geomean(normalized));
         }
         std::printf("\n");
     }
-    return 0;
 }

@@ -8,15 +8,15 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/registry.h"
 #include "breakhammer/security_model.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig05",
+                "Fig 5: RS_max_atk bound vs attacker thread share (Expr 2)",
+                "paper Fig 5 (§5.2)")
 {
     using namespace bh;
 
-    std::printf("==== Fig 5: RS_max_atk bound vs attacker thread share "
-                "(Expr 2) ====\n");
     const double outliers[] = {0.05, 0.15, 0.25, 0.35, 0.45,
                                0.55, 0.65, 0.75, 0.85, 0.95};
 
@@ -42,5 +42,4 @@ main()
                 "4.71x); THo=0.05 @90%% -> %.2fx (paper: 1.90x)\n",
                 maxAttackerScoreBound(0.5, 0.65),
                 maxAttackerScoreBound(0.9, 0.05));
-    return 0;
 }

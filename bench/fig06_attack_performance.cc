@@ -5,18 +5,28 @@
  * BreakHammer, normalized to the mechanism without BreakHammer.
  * Expected shape: > 1 everywhere (paper: +84.6% average).
  */
+#include <map>
+
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig06",
+                "Fig 6: benign performance under attack, N_RH=1K, +BH vs base",
+                "paper Fig 6 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    header("Fig 6: benign performance under attack, N_RH=1K, +BH vs base",
-           "paper Fig 6 (§8.1)");
-
     const unsigned n_rh = 1024;
+
+    std::vector<ExperimentConfig> grid;
+    for (const std::string &pattern : attackMixPatterns())
+        for (unsigned i = 0; i < mixesPerClass(); ++i)
+            for (MitigationType mech : pairedMitigations())
+                for (bool bh_on : {false, true})
+                    grid.push_back(pointConfig(makeMix(pattern, i), mech,
+                                               n_rh, bh_on));
+    ctx.pool->prefetch(grid);
+
     std::printf("%-12s", "mix");
     for (MitigationType m : pairedMitigations())
         std::printf(" %11s", mitigationName(m));
@@ -29,8 +39,10 @@ main()
             std::vector<double> vals;
             for (unsigned i = 0; i < mixesPerClass(); ++i) {
                 MixSpec mix = makeMix(pattern, i);
-                ExperimentResult base = point(mix, mech, n_rh, false);
-                ExperimentResult paired = point(mix, mech, n_rh, true);
+                const ExperimentResult &base = point(ctx, mix, mech, n_rh,
+                                                     false);
+                const ExperimentResult &paired = point(ctx, mix, mech,
+                                                       n_rh, true);
                 double norm = paired.weightedSpeedup / base.weightedSpeedup;
                 vals.push_back(norm);
                 per_mech_all[mitigationName(mech)].push_back(norm);
@@ -50,5 +62,4 @@ main()
     std::printf("\n\noverall geomean: %.3f (paper: +84.6%% average "
                 "improvement)\n",
                 geomean(overall));
-    return 0;
 }

@@ -7,16 +7,24 @@
  */
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig07",
+                "Fig 7: unfairness under attack, N_RH=1K, +BH vs base",
+                "paper Fig 7 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    header("Fig 7: unfairness under attack, N_RH=1K, +BH vs base",
-           "paper Fig 7 (§8.1)");
-
     const unsigned n_rh = 1024;
+
+    std::vector<ExperimentConfig> grid;
+    for (const std::string &pattern : attackMixPatterns())
+        for (unsigned i = 0; i < mixesPerClass(); ++i)
+            for (MitigationType mech : pairedMitigations())
+                for (bool bh_on : {false, true})
+                    grid.push_back(pointConfig(makeMix(pattern, i), mech,
+                                               n_rh, bh_on));
+    ctx.pool->prefetch(grid);
+
     std::printf("%-12s", "mix");
     for (MitigationType m : pairedMitigations())
         std::printf(" %11s", mitigationName(m));
@@ -29,8 +37,10 @@ main()
             std::vector<double> vals;
             for (unsigned i = 0; i < mixesPerClass(); ++i) {
                 MixSpec mix = makeMix(pattern, i);
-                ExperimentResult base = point(mix, mech, n_rh, false);
-                ExperimentResult paired = point(mix, mech, n_rh, true);
+                const ExperimentResult &base = point(ctx, mix, mech, n_rh,
+                                                     false);
+                const ExperimentResult &paired = point(ctx, mix, mech,
+                                                       n_rh, true);
                 vals.push_back(paired.maxSlowdown / base.maxSlowdown);
             }
             double g = geomean(vals);
@@ -41,5 +51,4 @@ main()
     }
     std::printf("\noverall geomean: %.3f (paper: -45.8%% average)\n",
                 geomean(overall));
-    return 0;
 }

@@ -8,17 +8,24 @@
  */
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig08",
+                "Fig 8: benign performance scaling vs N_RH, attacker present",
+                "paper Fig 8 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    header("Fig 8: benign performance scaling vs N_RH, attacker present",
-           "paper Fig 8 (§8.1)");
-
     std::vector<MixSpec> mixes = attackMixes();
-    BaselineCache baselines;
+
+    std::vector<ExperimentConfig> grid;
+    for (const MixSpec &mix : mixes) {
+        grid.push_back(baselineConfig(mix));
+        for (unsigned n_rh : nrhSweep())
+            for (MitigationType mech : pairedMitigations())
+                for (bool bh_on : {false, true})
+                    grid.push_back(pointConfig(mix, mech, n_rh, bh_on));
+    }
+    ctx.pool->prefetch(grid);
 
     std::printf("%-8s", "NRH");
     for (MitigationType m : pairedMitigations()) {
@@ -32,11 +39,13 @@ main()
         for (MitigationType mech : pairedMitigations()) {
             std::vector<double> base_norm, paired_norm;
             for (const MixSpec &mix : mixes) {
-                double nodef = baselines.get(mix).weightedSpeedup;
+                double nodef = baseline(ctx, mix).weightedSpeedup;
                 base_norm.push_back(
-                    point(mix, mech, n_rh, false).weightedSpeedup / nodef);
+                    point(ctx, mix, mech, n_rh, false).weightedSpeedup /
+                    nodef);
                 paired_norm.push_back(
-                    point(mix, mech, n_rh, true).weightedSpeedup / nodef);
+                    point(ctx, mix, mech, n_rh, true).weightedSpeedup /
+                    nodef);
             }
             std::printf(" %9.3f %9.3f", geomean(base_norm),
                         geomean(paired_norm));
@@ -45,5 +54,4 @@ main()
     }
     std::printf("\n(columns: mechanism without / with BreakHammer, "
                 "normalized WS vs no-mitigation)\n");
-    return 0;
 }

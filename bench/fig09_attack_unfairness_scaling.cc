@@ -7,17 +7,24 @@
  */
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig09",
+                "Fig 9: unfairness scaling vs N_RH, attacker present",
+                "paper Fig 9 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    header("Fig 9: unfairness scaling vs N_RH, attacker present",
-           "paper Fig 9 (§8.1)");
-
     std::vector<MixSpec> mixes = attackMixes();
-    BaselineCache baselines;
+
+    std::vector<ExperimentConfig> grid;
+    for (const MixSpec &mix : mixes) {
+        grid.push_back(baselineConfig(mix));
+        for (unsigned n_rh : nrhSweep())
+            for (MitigationType mech : pairedMitigations())
+                for (bool bh_on : {false, true})
+                    grid.push_back(pointConfig(mix, mech, n_rh, bh_on));
+    }
+    ctx.pool->prefetch(grid);
 
     std::printf("%-8s", "NRH");
     for (MitigationType m : pairedMitigations()) {
@@ -31,11 +38,13 @@ main()
         for (MitigationType mech : pairedMitigations()) {
             std::vector<double> base_norm, paired_norm;
             for (const MixSpec &mix : mixes) {
-                double nodef = baselines.get(mix).maxSlowdown;
+                double nodef = baseline(ctx, mix).maxSlowdown;
                 base_norm.push_back(
-                    point(mix, mech, n_rh, false).maxSlowdown / nodef);
+                    point(ctx, mix, mech, n_rh, false).maxSlowdown /
+                    nodef);
                 paired_norm.push_back(
-                    point(mix, mech, n_rh, true).maxSlowdown / nodef);
+                    point(ctx, mix, mech, n_rh, true).maxSlowdown /
+                    nodef);
             }
             std::printf(" %9.3f %9.3f", geomean(base_norm),
                         geomean(paired_norm));
@@ -44,5 +53,4 @@ main()
     }
     std::printf("\n(columns: mechanism without / with BreakHammer, "
                 "normalized max slowdown vs no-mitigation)\n");
-    return 0;
 }

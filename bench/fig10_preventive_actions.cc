@@ -7,14 +7,12 @@
  */
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig10",
+                "Fig 10: preventive actions vs N_RH, attacker present",
+                "paper Fig 10 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
-
-    header("Fig 10: preventive actions vs N_RH, attacker present",
-           "paper Fig 10 (§8.1)");
 
     std::vector<MitigationType> mechanisms;
     for (MitigationType m : pairedMitigations())
@@ -22,6 +20,14 @@ main()
             mechanisms.push_back(m);
 
     std::vector<MixSpec> mixes = attackMixes();
+
+    std::vector<ExperimentConfig> grid;
+    for (const MixSpec &mix : mixes)
+        for (unsigned n_rh : nrhSweep())
+            for (MitigationType mech : mechanisms)
+                for (bool bh_on : {false, true})
+                    grid.push_back(pointConfig(mix, mech, n_rh, bh_on));
+    ctx.pool->prefetch(grid);
 
     std::printf("%-8s", "NRH");
     for (MitigationType m : mechanisms)
@@ -35,9 +41,9 @@ main()
             double base_sum = 0, paired_sum = 0;
             for (const MixSpec &mix : mixes) {
                 base_sum += static_cast<double>(
-                    point(mix, mech, n_rh, false).preventiveActions);
+                    point(ctx, mix, mech, n_rh, false).preventiveActions);
                 paired_sum += static_cast<double>(
-                    point(mix, mech, n_rh, true).preventiveActions);
+                    point(ctx, mix, mech, n_rh, true).preventiveActions);
             }
             double per_mix = 1.0 / static_cast<double>(mixes.size());
             std::printf(" %10.0f %10.0f", base_sum * per_mix,
@@ -50,5 +56,4 @@ main()
     std::printf("\n(mean preventive actions per mix; paper reports -71.6%% "
                 "average with BH)\n");
     std::printf("measured mean ratio +BH/base: %.3f\n", mean(reductions));
-    return 0;
 }

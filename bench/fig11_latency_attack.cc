@@ -7,26 +7,31 @@
  */
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig11",
+                "Fig 11: benign memory latency percentiles, N_RH=64, attacker",
+                "paper Fig 11 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
-
-    header("Fig 11: benign memory latency percentiles, N_RH=64, attacker",
-           "paper Fig 11 (§8.1)");
 
     const unsigned n_rh = 64;
     MixSpec mix = makeMix("HHMA", 0);
     const double pcts[] = {50, 90, 99, 99.9};
 
-    ExperimentResult nodef = point(mix, MitigationType::kNone, 0, false);
+    std::vector<ExperimentConfig> grid;
+    grid.push_back(baselineConfig(mix));
+    for (MitigationType mech : pairedMitigations())
+        for (bool bh_on : {false, true})
+            grid.push_back(pointConfig(mix, mech, n_rh, bh_on));
+    ctx.pool->prefetch(grid);
+
+    const ExperimentResult &nodef = baseline(ctx, mix);
 
     std::printf("%-12s %8s %8s %8s %8s   (latency ns at P50/P90/P99/P99.9,"
                 " mix %s)\n",
                 "config", "P50", "P90", "P99", "P99.9", mix.name.c_str());
-    auto print_row = [&](const char *name, const Histogram &h) {
-        std::printf("%-12s", name);
+    auto print_row = [&](const std::string &name, const Histogram &h) {
+        std::printf("%-12s", name.c_str());
         for (double p : pcts)
             std::printf(" %8.0f", h.percentile(p));
         std::printf("\n");
@@ -34,11 +39,10 @@ main()
     print_row("NoDefense", nodef.raw.benignReadLatencyNs);
 
     for (MitigationType mech : pairedMitigations()) {
-        ExperimentResult base = point(mix, mech, n_rh, false);
-        ExperimentResult paired = point(mix, mech, n_rh, true);
+        const ExperimentResult &base = point(ctx, mix, mech, n_rh, false);
+        const ExperimentResult &paired = point(ctx, mix, mech, n_rh, true);
         print_row(mitigationName(mech), base.raw.benignReadLatencyNs);
-        std::string paired_name = std::string(mitigationName(mech)) + "+BH";
-        print_row(paired_name.c_str(), paired.raw.benignReadLatencyNs);
+        print_row(std::string(mitigationName(mech)) + "+BH",
+                  paired.raw.benignReadLatencyNs);
     }
-    return 0;
 }

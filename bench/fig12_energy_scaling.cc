@@ -7,17 +7,24 @@
  */
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig12",
+                "Fig 12: DRAM energy scaling vs N_RH, attacker present",
+                "paper Fig 12 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    header("Fig 12: DRAM energy scaling vs N_RH, attacker present",
-           "paper Fig 12 (§8.1)");
-
     std::vector<MixSpec> mixes = attackMixes();
-    BaselineCache baselines;
+
+    std::vector<ExperimentConfig> grid;
+    for (const MixSpec &mix : mixes) {
+        grid.push_back(baselineConfig(mix));
+        for (unsigned n_rh : nrhSweep())
+            for (MitigationType mech : pairedMitigations())
+                for (bool bh_on : {false, true})
+                    grid.push_back(pointConfig(mix, mech, n_rh, bh_on));
+    }
+    ctx.pool->prefetch(grid);
 
     std::printf("%-8s", "NRH");
     for (MitigationType m : pairedMitigations())
@@ -30,11 +37,11 @@ main()
         for (MitigationType mech : pairedMitigations()) {
             std::vector<double> base_norm, paired_norm;
             for (const MixSpec &mix : mixes) {
-                double nodef = baselines.get(mix).energyNj;
+                double nodef = baseline(ctx, mix).energyNj;
                 double b =
-                    point(mix, mech, n_rh, false).energyNj / nodef;
+                    point(ctx, mix, mech, n_rh, false).energyNj / nodef;
                 double p =
-                    point(mix, mech, n_rh, true).energyNj / nodef;
+                    point(ctx, mix, mech, n_rh, true).energyNj / nodef;
                 base_norm.push_back(b);
                 paired_norm.push_back(p);
                 savings.push_back(p / b);
@@ -47,5 +54,4 @@ main()
     std::printf("\n(normalized DRAM energy vs no-mitigation; paper: -55.4%%"
                 " average with BH)\nmeasured mean ratio +BH/base: %.3f\n",
                 mean(savings));
-    return 0;
 }

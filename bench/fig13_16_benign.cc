@@ -10,14 +10,28 @@
  */
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig13_16",
+                "Figs 13-16: BreakHammer with no attacker present",
+                "paper Figs 13, 14, 15, 16 (§8.2)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    header("Figs 13-16: BreakHammer with no attacker present",
-           "paper Figs 13, 14, 15, 16 (§8.2)");
+    std::vector<ExperimentConfig> grid;
+    for (const std::string &pattern : benignMixPatterns()) {
+        for (unsigned i = 0; i < mixesPerClass(); ++i)
+            for (unsigned n_rh : {64u, 1024u})
+                for (MitigationType mech : pairedMitigations())
+                    for (bool bh_on : {false, true})
+                        grid.push_back(pointConfig(makeMix(pattern, i),
+                                                   mech, n_rh, bh_on));
+        for (unsigned n_rh : nrhSweep())
+            for (MitigationType mech : pairedMitigations())
+                for (bool bh_on : {false, true})
+                    grid.push_back(pointConfig(makeMix(pattern, 0), mech,
+                                               n_rh, bh_on));
+    }
+    ctx.pool->prefetch(grid);
 
     // --- Figs 13 & 14: per mix class at fixed N_RH -------------------
     struct FixedPoint
@@ -43,8 +57,10 @@ main()
                 std::vector<double> vals;
                 for (unsigned i = 0; i < mixesPerClass(); ++i) {
                     MixSpec mix = makeMix(pattern, i);
-                    ExperimentResult base = point(mix, mech, fp.nRh, false);
-                    ExperimentResult paired = point(mix, mech, fp.nRh, true);
+                    const ExperimentResult &base = point(ctx, mix, mech,
+                                                         fp.nRh, false);
+                    const ExperimentResult &paired = point(ctx, mix, mech,
+                                                           fp.nRh, true);
                     vals.push_back(
                         fp.unfairness
                             ? paired.maxSlowdown / base.maxSlowdown
@@ -73,8 +89,10 @@ main()
             std::vector<double> ws, uf;
             for (const std::string &pattern : benignMixPatterns()) {
                 MixSpec mix = makeMix(pattern, 0);
-                ExperimentResult base = point(mix, mech, n_rh, false);
-                ExperimentResult paired = point(mix, mech, n_rh, true);
+                const ExperimentResult &base = point(ctx, mix, mech, n_rh,
+                                                     false);
+                const ExperimentResult &paired = point(ctx, mix, mech,
+                                                       n_rh, true);
                 ws.push_back(paired.weightedSpeedup / base.weightedSpeedup);
                 uf.push_back(paired.maxSlowdown / base.maxSlowdown);
             }
@@ -82,5 +100,4 @@ main()
         }
         std::printf("\n");
     }
-    return 0;
 }

@@ -5,20 +5,25 @@
  */
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig17",
+                "Fig 17: benign memory latency percentiles, N_RH=64, no attack",
+                "paper Fig 17 (§8.2)")
 {
     using namespace bh;
     using namespace bh::benchutil;
-
-    header("Fig 17: benign memory latency percentiles, N_RH=64, no attack",
-           "paper Fig 17 (§8.2)");
 
     const unsigned n_rh = 64;
     MixSpec mix = makeMix("HHMM", 0);
     const double pcts[] = {50, 90, 99, 99.9};
 
-    ExperimentResult nodef = point(mix, MitigationType::kNone, 0, false);
+    std::vector<ExperimentConfig> grid;
+    grid.push_back(baselineConfig(mix));
+    for (MitigationType mech : pairedMitigations())
+        for (bool bh_on : {false, true})
+            grid.push_back(pointConfig(mix, mech, n_rh, bh_on));
+    ctx.pool->prefetch(grid);
+
+    const ExperimentResult &nodef = baseline(ctx, mix);
 
     std::printf("%-12s %8s %8s %8s %8s   (latency ns, mix %s)\n", "config",
                 "P50", "P90", "P99", "P99.9", mix.name.c_str());
@@ -31,11 +36,10 @@ main()
     print_row("NoDefense", nodef.raw.benignReadLatencyNs);
 
     for (MitigationType mech : pairedMitigations()) {
-        ExperimentResult base = point(mix, mech, n_rh, false);
-        ExperimentResult paired = point(mix, mech, n_rh, true);
+        const ExperimentResult &base = point(ctx, mix, mech, n_rh, false);
+        const ExperimentResult &paired = point(ctx, mix, mech, n_rh, true);
         print_row(mitigationName(mech), base.raw.benignReadLatencyNs);
         print_row(std::string(mitigationName(mech)) + "+BH",
                   paired.raw.benignReadLatencyNs);
     }
-    return 0;
 }

@@ -8,17 +8,25 @@
  */
 #include "bench/bench_util.h"
 
-int
-main()
+BH_BENCH_FIGURE("fig18", "Fig 18: BreakHammer pairings vs BlockHammer",
+                "paper Fig 18 (§8.3)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    header("Fig 18: BreakHammer pairings vs BlockHammer",
-           "paper Fig 18 (§8.3)");
-
     std::vector<MixSpec> mixes = attackMixes();
-    BaselineCache baselines;
+
+    std::vector<ExperimentConfig> grid;
+    for (const MixSpec &mix : mixes) {
+        grid.push_back(baselineConfig(mix));
+        for (unsigned n_rh : nrhSweep()) {
+            for (MitigationType mech : pairedMitigations())
+                grid.push_back(pointConfig(mix, mech, n_rh, true));
+            grid.push_back(pointConfig(mix, MitigationType::kBlockHammer,
+                                       n_rh, false));
+        }
+    }
+    ctx.pool->prefetch(grid);
 
     std::printf("%-8s", "NRH");
     for (MitigationType m : pairedMitigations())
@@ -30,17 +38,18 @@ main()
         for (MitigationType mech : pairedMitigations()) {
             std::vector<double> vals;
             for (const MixSpec &mix : mixes) {
-                double nodef = baselines.get(mix).weightedSpeedup;
+                double nodef = baseline(ctx, mix).weightedSpeedup;
                 vals.push_back(
-                    point(mix, mech, n_rh, true).weightedSpeedup / nodef);
+                    point(ctx, mix, mech, n_rh, true).weightedSpeedup /
+                    nodef);
             }
             std::printf(" %13.3f", geomean(vals));
         }
         std::vector<double> bhm;
         for (const MixSpec &mix : mixes) {
-            double nodef = baselines.get(mix).weightedSpeedup;
+            double nodef = baseline(ctx, mix).weightedSpeedup;
             bhm.push_back(
-                point(mix, MitigationType::kBlockHammer, n_rh, false)
+                point(ctx, mix, MitigationType::kBlockHammer, n_rh, false)
                     .weightedSpeedup /
                 nodef);
         }
@@ -48,5 +57,4 @@ main()
     }
     std::printf("\n(normalized WS of benign apps vs no mitigation; paper: "
                 "BlockHammer falls from +78.6%% to -98%% as N_RH drops)\n");
-    return 0;
 }

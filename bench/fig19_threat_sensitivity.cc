@@ -7,22 +7,50 @@
  * window-scaled TH_threat multiples (1x, 16x, 128x of the scaled base —
  * the same ratios as the paper's 32/512/4096).
  */
+#include <map>
+
 #include "bench/bench_util.h"
 
-int
-main()
+namespace {
+
+bh::ExperimentConfig
+threatConfig(const bh::MixSpec &mix, unsigned n_rh,
+             const bh::BreakHammerConfig &scaled, double multiplier)
+{
+    using namespace bh;
+    ExperimentConfig cfg;
+    cfg.mix = mix;
+    cfg.mechanism = MitigationType::kGraphene;
+    cfg.nRh = n_rh;
+    cfg.breakHammer = true;
+    cfg.bh = scaled;
+    cfg.bh.thThreat = scaled.thThreat * multiplier;
+    return cfg;
+}
+
+} // namespace
+
+BH_BENCH_FIGURE("fig19", "Fig 19: sensitivity to TH_threat",
+                "paper Fig 19 (§8.4)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    header("Fig 19: sensitivity to TH_threat", "paper Fig 19 (§8.4)");
-
     const unsigned nrh_points[] = {4096, 512, 64};
     const double multipliers[] = {1.0, 16.0, 128.0};
-    const MitigationType mech = MitigationType::kGraphene;
 
     BreakHammerConfig scaled =
         scaledBreakHammerConfig(defaultInstructions());
+
+    std::vector<ExperimentConfig> grid;
+    for (bool attack : {true, false})
+        for (unsigned n_rh : nrh_points)
+            for (double mult : multipliers)
+                for (const std::string &pattern :
+                     attack ? attackMixPatterns() : benignMixPatterns())
+                    grid.push_back(threatConfig(makeMix(pattern, 0), n_rh,
+                                                scaled, mult));
+    ctx.pool->prefetch(grid);
 
     for (bool attack : {true, false}) {
         std::printf("-- %s --\n",
@@ -38,15 +66,11 @@ main()
         for (unsigned n_rh : nrh_points) {
             for (const std::string &pattern :
                  attack ? attackMixPatterns() : benignMixPatterns()) {
-                ExperimentConfig cfg;
-                cfg.mix = makeMix(pattern, 0);
-                cfg.mechanism = mech;
-                cfg.nRh = n_rh;
-                cfg.breakHammer = true;
-                cfg.bh = scaled;
-                cfg.bh.thThreat = scaled.thThreat * multipliers[2];
                 reference[n_rh].push_back(
-                    runExperiment(cfg).weightedSpeedup);
+                    ctx.pool
+                        ->get(threatConfig(makeMix(pattern, 0), n_rh,
+                                           scaled, multipliers[2]))
+                        .weightedSpeedup);
             }
         }
 
@@ -57,15 +81,11 @@ main()
                 unsigned idx = 0;
                 for (const std::string &pattern :
                      attack ? attackMixPatterns() : benignMixPatterns()) {
-                    ExperimentConfig cfg;
-                    cfg.mix = makeMix(pattern, 0);
-                    cfg.mechanism = mech;
-                    cfg.nRh = n_rh;
-                    cfg.breakHammer = true;
-                    cfg.bh = scaled;
-                    cfg.bh.thThreat = scaled.thThreat * mult;
                     normalized.push_back(
-                        runExperiment(cfg).weightedSpeedup /
+                        ctx.pool
+                            ->get(threatConfig(makeMix(pattern, 0), n_rh,
+                                               scaled, mult))
+                            .weightedSpeedup /
                         reference[n_rh][idx++]);
                 }
                 BoxStats box = boxStats(normalized);
@@ -78,5 +98,4 @@ main()
     }
     std::printf("(WS normalized to the largest TH_threat; paper: lower "
                 "TH_threat helps under attack, costs little without)\n");
-    return 0;
 }

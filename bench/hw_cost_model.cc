@@ -6,15 +6,14 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "bench/registry.h"
 #include "breakhammer/cost_model.h"
 #include "dram/spec.h"
 
-int
-main()
+BH_BENCH_FIGURE("hw_cost", "Hardware cost model", "paper §6")
 {
     using namespace bh;
 
-    std::printf("==== Hardware cost model (paper §6) ====\n\n");
     std::printf("BreakHammer per-thread state: 2x32b scores + 16b ACT "
                 "counter + 2x1b flags = %u bits\n",
                 kBreakHammerBitsPerThread);
@@ -44,5 +43,4 @@ main()
     }
     std::printf("\n(BlockHammer's history buffers grow as N_RH shrinks; "
                 "BreakHammer's state is N_RH-independent, §8.3)\n");
-    return 0;
 }

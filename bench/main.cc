@@ -1,0 +1,153 @@
+/**
+ * @file
+ * bh_bench — the unified benchmark runner.
+ *
+ *   bh_bench --list                 # what can run
+ *   bh_bench fig06 fig07            # named figures
+ *   bh_bench all --jobs=8           # the full set, 8 worker threads
+ *   bh_bench all --json=out.json    # export every experiment point
+ *
+ * All figures share one memoizing ExperimentPool: grids prefetch in
+ * parallel (--jobs) and points shared between figures simulate once. The
+ * JSON export is sorted by canonical experiment key, so its bytes are
+ * identical no matter how many jobs produced it.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/registry.h"
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: bh_bench [options] <figure>... | all\n"
+        "       bh_bench --list\n\n"
+        "options:\n"
+        "  --list        list registered figures and exit\n"
+        "  --jobs=N      worker threads for experiment grids "
+        "(default: hardware)\n"
+        "  --json=PATH   export every simulated point as JSON\n\n"
+        "scale knobs (environment): BH_INSTS, BH_MIXES, BH_FULL\n");
+}
+
+void
+listFigures()
+{
+    std::printf("%-12s %-52s %s\n", "name", "title", "reproduces");
+    for (const bh::bench::Figure &figure : bh::bench::figures())
+        std::printf("%-12s %-52s %s\n", figure.name.c_str(),
+                    figure.title.c_str(), figure.paperRef.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bh;
+    using Clock = std::chrono::steady_clock;
+
+    unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
+    std::string json_path;
+    bool run_all = false;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            listFigures();
+            return 0;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
+            if (jobs == 0)
+                jobs = 1;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg == "all") {
+            run_all = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n\n", arg.c_str());
+            usage();
+            return 2;
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    // Validate explicit names even when "all" is also given, so typos
+    // never silently vanish into a full-grid run.
+    std::vector<bench::Figure> named;
+    for (const std::string &name : names) {
+        const bench::Figure *figure = bench::findFigure(name);
+        if (!figure) {
+            std::fprintf(stderr, "unknown figure: %s (try --list)\n",
+                         name.c_str());
+            return 2;
+        }
+        named.push_back(*figure);
+    }
+
+    std::vector<bench::Figure> selected;
+    if (run_all) {
+        if (!named.empty())
+            std::fprintf(stderr, "note: \"all\" includes every figure; "
+                                 "ignoring the explicit name(s)\n");
+        selected = bench::figures();
+    } else {
+        selected = std::move(named);
+    }
+    if (selected.empty()) {
+        usage();
+        return 2;
+    }
+
+    ExperimentPool pool(jobs);
+    bench::Context ctx{&pool, jobs};
+
+    auto total_start = Clock::now();
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const bench::Figure &figure = selected[i];
+        if (i)
+            std::printf("\n");
+        benchutil::header(figure.title, figure.paperRef);
+        auto start = Clock::now();
+        figure.fn(ctx);
+        double secs =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        std::printf("\n[%s: %.2f s, pool: %zu points]\n",
+                    figure.name.c_str(), secs, pool.size());
+    }
+    double total_secs =
+        std::chrono::duration<double>(Clock::now() - total_start).count();
+    std::printf("\n==== done: %zu figure(s), %zu experiment point(s), "
+                "%.2f s, jobs=%u ====\n",
+                selected.size(), pool.size(), total_secs, jobs);
+
+    if (!json_path.empty()) {
+        JsonValue doc = JsonValue::object();
+        doc.set("experiments", pool.toJson());
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::string text = doc.dump(2);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

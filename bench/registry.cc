@@ -1,0 +1,44 @@
+#include "bench/registry.h"
+
+#include <algorithm>
+
+namespace bh::bench {
+
+namespace {
+
+std::vector<Figure> &
+allFigures()
+{
+    static std::vector<Figure> figures;
+    return figures;
+}
+
+} // namespace
+
+void
+registerFigure(Figure figure)
+{
+    allFigures().push_back(std::move(figure));
+}
+
+std::vector<Figure>
+figures()
+{
+    std::vector<Figure> out = allFigures();
+    std::sort(out.begin(), out.end(),
+              [](const Figure &a, const Figure &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+const Figure *
+findFigure(const std::string &name)
+{
+    for (const Figure &figure : allFigures())
+        if (figure.name == name)
+            return &figure;
+    return nullptr;
+}
+
+} // namespace bh::bench

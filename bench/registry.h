@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure registry for the unified bench runner.
+ *
+ * Every figure driver registers a name, a title, the paper reference it
+ * reproduces, and a run function. The bh_bench binary looks figures up by
+ * name (`bh_bench fig06`), lists them (`--list`), or runs the whole set
+ * (`bh_bench all`). Figures share one ExperimentPool, so experiment
+ * points that several figures need (e.g. the attack-mix baselines used by
+ * Figs 8, 9, 12, and 18) are simulated exactly once per process.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace bh::bench {
+
+/** Shared state handed to every figure run. */
+struct Context
+{
+    /** Memoizing experiment cache shared across figures. */
+    ExperimentPool *pool = nullptr;
+    /** Worker threads for grid prefetches. */
+    unsigned jobs = 1;
+};
+
+using BenchFn = void (*)(Context &);
+
+/** One registered figure driver. */
+struct Figure
+{
+    std::string name;     ///< CLI name, e.g. "fig06".
+    std::string title;    ///< Human-readable headline.
+    std::string paperRef; ///< e.g. "paper Fig 6 (§8.1)".
+    BenchFn fn = nullptr;
+};
+
+/** Register @p figure (called by static Registrar initializers). */
+void registerFigure(Figure figure);
+
+/** All registered figures, sorted by name. */
+std::vector<Figure> figures();
+
+/** Look up a figure by CLI name; nullptr when unknown. */
+const Figure *findFigure(const std::string &name);
+
+/** Static-initialization helper behind BH_BENCH_FIGURE. */
+struct Registrar
+{
+    Registrar(const char *name, const char *title, const char *paper_ref,
+              BenchFn fn)
+    {
+        registerFigure(Figure{name, title, paper_ref, fn});
+    }
+};
+
+} // namespace bh::bench
+
+/**
+ * Define and register a figure driver:
+ *
+ *   BH_BENCH_FIGURE("fig06", "Benign performance under attack",
+ *                   "paper Fig 6 (§8.1)") { ... use ctx ... }
+ */
+#define BH_BENCH_FIGURE(name, title, ref)                                     \
+    static void bhBenchRun(::bh::bench::Context &ctx);                        \
+    static ::bh::bench::Registrar bhBenchRegistrar{name, title, ref,          \
+                                                   &bhBenchRun};              \
+    static void bhBenchRun([[maybe_unused]] ::bh::bench::Context &ctx)

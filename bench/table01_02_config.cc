@@ -6,14 +6,15 @@
  */
 #include <cstdio>
 
+#include "bench/registry.h"
 #include "breakhammer/breakhammer.h"
 #include "cache/llc.h"
 #include "core/core.h"
 #include "dram/spec.h"
 #include "mem/controller.h"
 
-int
-main()
+BH_BENCH_FIGURE("table01_02", "Tables 1 & 2: system and BreakHammer config",
+                "paper Tables 1-2 (§7)")
 {
     using namespace bh;
 
@@ -56,5 +57,4 @@ main()
     std::printf("P_newsuspect     %u\n", bhc.pNewSuspect);
     std::printf("\n(benches scale TH_window / TH_threat to the simulated "
                 "horizon; see sim/experiment.h)\n");
-    return 0;
 }

@@ -10,17 +10,17 @@
  */
 #include <cstdio>
 
+#include "bench/registry.h"
 #include "dram/address.h"
 #include "dram/spec.h"
 #include "trace/benign.h"
 #include "trace/profiler.h"
 
-int
-main()
+BH_BENCH_FIGURE("table03", "Table 3: workload characteristics",
+                "paper Table 3 (§7)")
 {
     using namespace bh;
 
-    std::printf("==== Table 3: workload characteristics ====\n");
     std::printf("(profiler: %s instructions, 8M-instruction windows)\n\n",
                 "4M");
     AddressMapper mapper(DramSpec::ddr5().org);
@@ -51,5 +51,4 @@ main()
     }
     std::printf("%-20s %6s %10.2f\n", "average", "",
                 sum_rbmpki / count);
-    return 0;
 }

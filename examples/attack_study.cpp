@@ -7,6 +7,9 @@
  *
  * Demonstrates: direct System construction, custom AttackerConfig, and the
  * BreakHammer introspection API (the §4 "feedback to system software").
+ * This deliberately stays on the low-level System API rather than the
+ * ExperimentScheduler: the introspection readouts live on the System
+ * object, which runExperiment() does not expose.
  */
 #include <cstdio>
 

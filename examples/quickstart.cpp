@@ -4,13 +4,14 @@
  * Graphene mitigation with BreakHammer, and compare against the unpaired
  * baseline.
  *
- * Demonstrates the core public API: mixes, experiment configs, and the
+ * Demonstrates the core public API: mixes, experiment configs, the
+ * parallel ExperimentScheduler (both runs execute concurrently), and the
  * metrics the paper reports (weighted speedup of benign applications,
  * unfairness, preventive-action counts).
  */
 #include <cstdio>
 
-#include "sim/experiment.h"
+#include "sim/scheduler.h"
 
 int
 main()
@@ -34,11 +35,16 @@ main()
     base.mechanism = MitigationType::kGraphene;
     base.nRh = n_rh;
     base.breakHammer = false;
-    ExperimentResult baseline = runExperiment(base);
 
     ExperimentConfig paired = base;
     paired.breakHammer = true;
-    ExperimentResult with_bh = runExperiment(paired);
+
+    // Both points are independent simulations; the scheduler runs them on
+    // parallel workers and returns results in grid order.
+    ExperimentScheduler scheduler({.threads = 2});
+    std::vector<ExperimentResult> results = scheduler.run({base, paired});
+    const ExperimentResult &baseline = results[0];
+    const ExperimentResult &with_bh = results[1];
 
     std::printf("%-22s %12s %12s\n", "metric", "Graphene", "Graphene+BH");
     std::printf("%-22s %12.3f %12.3f\n", "weighted speedup (benign)",

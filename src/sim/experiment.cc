@@ -1,7 +1,9 @@
 #include "sim/experiment.h"
 
+#include <cstdio>
 #include <map>
 #include <mutex>
+#include <utility>
 
 #include "common/env.h"
 #include "stats/metrics.h"
@@ -92,6 +94,7 @@ runExperiment(const ExperimentConfig &config)
     sys.breakHammer = config.breakHammer;
     sys.bh = config.bh.window ? config.bh : scaledBreakHammerConfig(insts);
     sys.enableOracle = config.oracle;
+    sys.bluntThrottle = config.bluntThrottle;
     sys.seed = config.seed;
 
     // The cycle cap bounds pathological configurations (e.g., BlockHammer
@@ -110,6 +113,90 @@ runExperiment(const ExperimentConfig &config)
     out.maxSlowdown = maxSlowdown(shared, alone);
     out.energyNj = out.raw.energyNj;
     out.preventiveActions = out.raw.preventiveActions;
+    return out;
+}
+
+std::string
+experimentKey(const ExperimentConfig &config)
+{
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "mix=%s|mech=%s|nrh=%u|bh=%d|win=%llu|thr=%.17g|out=%.17g|po=%u|"
+        "pn=%u|attr=%d|single=%d|insts=%llu|oracle=%d|blunt=%d|seed=%llu",
+        config.mix.name.c_str(), mitigationName(config.mechanism),
+        config.nRh, config.breakHammer ? 1 : 0,
+        static_cast<unsigned long long>(config.bh.window),
+        config.bh.thThreat, config.bh.thOutlier, config.bh.pOldSuspect,
+        config.bh.pNewSuspect,
+        config.bh.attribution == ScoreAttribution::kWinnerTakesAll ? 1 : 0,
+        config.bh.singleCounterSet ? 1 : 0,
+        static_cast<unsigned long long>(config.instructions),
+        config.oracle ? 1 : 0, config.bluntThrottle ? 1 : 0,
+        static_cast<unsigned long long>(config.seed));
+    return buf;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+soloDependencies(const std::vector<ExperimentConfig> &configs)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> deps;
+    for (const ExperimentConfig &config : configs) {
+        std::uint64_t insts =
+            config.instructions ? config.instructions
+                                : defaultInstructions();
+        for (const std::string &app : benignApps(config.mix)) {
+            std::pair<std::string, std::uint64_t> dep{app, insts};
+            bool seen = false;
+            for (const auto &existing : deps)
+                if (existing == dep) {
+                    seen = true;
+                    break;
+                }
+            if (!seen)
+                deps.push_back(std::move(dep));
+        }
+    }
+    return deps;
+}
+
+JsonValue
+experimentResultToJson(const ExperimentConfig &config,
+                       const ExperimentResult &result)
+{
+    JsonValue out = JsonValue::object();
+    out.set("key", experimentKey(config));
+    out.set("mix", config.mix.name);
+    out.set("mechanism", mitigationName(config.mechanism));
+    out.set("nrh", config.nRh);
+    out.set("breakhammer", config.breakHammer);
+
+    out.set("weighted_speedup", result.weightedSpeedup);
+    out.set("max_slowdown", result.maxSlowdown);
+    out.set("energy_nj", result.energyNj);
+    out.set("preventive_actions", result.preventiveActions);
+
+    JsonValue raw = JsonValue::object();
+    raw.set("cycles", result.raw.cycles);
+    raw.set("demand_acts", result.raw.demandActs);
+    raw.set("suspect_marks", result.raw.suspectMarks);
+    raw.set("quota_rejections", result.raw.quotaRejections);
+    raw.set("hit_cycle_cap", result.raw.hitCycleCap);
+    JsonValue ipcs = JsonValue::array();
+    for (double ipc : result.raw.benignIpcs())
+        ipcs.push(ipc);
+    raw.set("benign_ipcs", std::move(ipcs));
+    const Histogram &lat = result.raw.benignReadLatencyNs;
+    JsonValue latency = JsonValue::object();
+    latency.set("count", lat.count());
+    latency.set("mean", lat.mean());
+    latency.set("p50", lat.percentile(50));
+    latency.set("p90", lat.percentile(90));
+    latency.set("p99", lat.percentile(99));
+    latency.set("p999", lat.percentile(99.9));
+    latency.set("max", lat.max());
+    raw.set("benign_read_latency_ns", std::move(latency));
+    out.set("raw", std::move(raw));
     return out;
 }
 

@@ -19,6 +19,7 @@
 
 #include "sim/mixes.h"
 #include "sim/system.h"
+#include "stats/json.h"
 
 namespace bh {
 
@@ -33,6 +34,8 @@ struct ExperimentConfig
     BreakHammerConfig bh = BreakHammerConfig{.window = 0};
     std::uint64_t instructions = 0; ///< 0 = use the BH_INSTS default.
     bool oracle = false;
+    /** Ablation: reject a throttled thread's secondary misses too. */
+    bool bluntThrottle = false;
     std::uint64_t seed = 1;
 };
 
@@ -63,5 +66,25 @@ double soloIpc(const std::string &app_name, std::uint64_t instructions);
 
 /** Run one experiment point and compute its metrics. */
 ExperimentResult runExperiment(const ExperimentConfig &config);
+
+/**
+ * Canonical identity of an experiment point: every field that influences
+ * the simulation, rendered as a stable string. Two configs with equal keys
+ * produce bit-identical results, so the key doubles as the memoization
+ * key of ExperimentPool and the record key of the JSON export.
+ */
+std::string experimentKey(const ExperimentConfig &config);
+
+/**
+ * The (app, instructions) solo-run dependencies of @p configs, deduped in
+ * first-use order. Warming these through soloIpc() before a parallel
+ * sweep prevents workers from duplicating solo runs.
+ */
+std::vector<std::pair<std::string, std::uint64_t>>
+soloDependencies(const std::vector<ExperimentConfig> &configs);
+
+/** One experiment (config identity + metrics + raw summary) as JSON. */
+JsonValue experimentResultToJson(const ExperimentConfig &config,
+                                 const ExperimentResult &result);
 
 } // namespace bh

@@ -1,0 +1,219 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <thread>
+
+namespace bh {
+
+namespace {
+
+/**
+ * A work-stealing index pool: each worker owns a deque of task indices
+ * and steals from the back of a victim's deque when its own runs dry.
+ * Tasks are simulation runs lasting milliseconds to seconds, so
+ * mutex-per-deque is plenty cheap relative to task granularity.
+ */
+class StealingQueues
+{
+  public:
+    StealingQueues(std::size_t num_tasks, unsigned num_workers)
+        : queues(num_workers), mutexes(num_workers)
+    {
+        // Round-robin sharding interleaves the (typically
+        // similarly-expensive) neighbors of a grid across workers, so
+        // initial shards are balanced before any stealing happens.
+        for (std::size_t i = 0; i < num_tasks; ++i)
+            queues[i % num_workers].push_back(i);
+    }
+
+    /** Pop from own queue, else steal; false when all queues are dry. */
+    bool
+    pop(unsigned worker, std::size_t *out)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutexes[worker]);
+            if (!queues[worker].empty()) {
+                *out = queues[worker].front();
+                queues[worker].pop_front();
+                return true;
+            }
+        }
+        for (std::size_t offset = 1; offset < queues.size(); ++offset) {
+            unsigned victim =
+                (worker + offset) % static_cast<unsigned>(queues.size());
+            std::lock_guard<std::mutex> lock(mutexes[victim]);
+            if (!queues[victim].empty()) {
+                *out = queues[victim].back();
+                queues[victim].pop_back();
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    std::vector<std::deque<std::size_t>> queues;
+    std::vector<std::mutex> mutexes;
+};
+
+/** Run @p task(i) for every index in [0, num_tasks) on @p threads workers. */
+void
+parallelFor(std::size_t num_tasks, unsigned threads,
+            const std::function<void(std::size_t)> &task)
+{
+    if (num_tasks == 0)
+        return;
+    if (threads <= 1 || num_tasks == 1) {
+        for (std::size_t i = 0; i < num_tasks; ++i)
+            task(i);
+        return;
+    }
+
+    unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads, num_tasks));
+    StealingQueues queues(num_tasks, workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            std::size_t index;
+            while (queues.pop(w, &index))
+                task(index);
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace
+
+ExperimentScheduler::ExperimentScheduler(SchedulerOptions options)
+    : options(std::move(options))
+{
+    threads = this->options.threads
+                  ? this->options.threads
+                  : std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::uint64_t
+ExperimentScheduler::deriveRunSeed(std::uint64_t base_seed,
+                                   std::size_t index)
+{
+    // SplitMix64 finalizer over (base, index): decorrelated, and a pure
+    // function of the grid position — never of execution order.
+    std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull *
+                                      (static_cast<std::uint64_t>(index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z = z ^ (z >> 31);
+    return z ? z : 1;
+}
+
+std::vector<ExperimentResult>
+ExperimentScheduler::run(const std::vector<ExperimentConfig> &configs)
+{
+    std::vector<ExperimentConfig> grid = configs;
+    if (options.deriveSeeds)
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            grid[i].seed = deriveRunSeed(grid[i].seed, i);
+
+    if (options.precacheSoloIpcs) {
+        // Phase 1: warm the weighted-speedup denominators. Each unique
+        // (app, insts) solo run executes exactly once; without this,
+        // workers holding the same mix would duplicate the run and one
+        // result would be discarded at cache insert.
+        std::vector<std::pair<std::string, std::uint64_t>> deps =
+            soloDependencies(grid);
+        parallelFor(deps.size(), threads, [&](std::size_t i) {
+            soloIpc(deps[i].first, deps[i].second);
+        });
+    }
+
+    // Phase 2: the experiment grid itself.
+    std::vector<ExperimentResult> results(grid.size());
+    std::mutex stream_mutex;
+    parallelFor(grid.size(), threads, [&](std::size_t i) {
+        results[i] = runExperiment(grid[i]);
+        if (options.log)
+            options.log->append(i, experimentKey(grid[i]),
+                                experimentResultToJson(grid[i],
+                                                       results[i]));
+        if (options.onResult) {
+            std::lock_guard<std::mutex> lock(stream_mutex);
+            options.onResult(i, grid[i], results[i]);
+        }
+    });
+    return results;
+}
+
+ExperimentPool::ExperimentPool(unsigned threads)
+    : threads(threads ? threads
+                      : std::max(1u, std::thread::hardware_concurrency()))
+{}
+
+void
+ExperimentPool::prefetch(const std::vector<ExperimentConfig> &configs)
+{
+    // Dedup against the cache and within the request itself.
+    std::vector<ExperimentConfig> missing;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        std::set<std::string> requested;
+        for (const ExperimentConfig &config : configs) {
+            std::string key = experimentKey(config);
+            if (cache.count(key) || !requested.insert(key).second)
+                continue;
+            missing.push_back(config);
+        }
+    }
+    if (missing.empty())
+        return;
+
+    SchedulerOptions options;
+    options.threads = threads;
+    ExperimentScheduler scheduler(options);
+    std::vector<ExperimentResult> results = scheduler.run(missing);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < missing.size(); ++i)
+        cache.emplace(experimentKey(missing[i]),
+                      Entry{missing[i], results[i]});
+}
+
+const ExperimentResult &
+ExperimentPool::get(const ExperimentConfig &config)
+{
+    std::string key = experimentKey(config);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second.result;
+    }
+    ExperimentResult result = runExperiment(config);
+    std::lock_guard<std::mutex> lock(mutex);
+    return cache.emplace(key, Entry{config, std::move(result)})
+        .first->second.result;
+}
+
+std::size_t
+ExperimentPool::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return cache.size();
+}
+
+JsonValue
+ExperimentPool::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    JsonValue arr = JsonValue::array();
+    for (const auto &entry : cache) // std::map: sorted by key already
+        arr.push(experimentResultToJson(entry.second.config,
+                                        entry.second.result));
+    return arr;
+}
+
+} // namespace bh

@@ -8,7 +8,9 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
@@ -25,7 +27,7 @@ class Histogram
      *                 land in a saturating overflow bin.
      */
     explicit Histogram(double bin_width = 1.0, std::size_t num_bins = 4096)
-        : binWidth(bin_width), bins(num_bins + 1, 0)
+        : binWidth_(bin_width), bins(num_bins + 1, 0)
     {
         BH_ASSERT(bin_width > 0.0, "histogram bin width must be positive");
     }
@@ -36,7 +38,7 @@ class Histogram
     {
         if (value < 0.0)
             value = 0.0;
-        auto idx = static_cast<std::size_t>(value / binWidth);
+        auto idx = static_cast<std::size_t>(value / binWidth_);
         if (idx >= bins.size() - 1)
             idx = bins.size() - 1;
         ++bins[idx];
@@ -82,7 +84,7 @@ class Histogram
                 double frac =
                     bins[i] ? (target - running) / static_cast<double>(bins[i])
                             : 0.0;
-                return (static_cast<double>(i) + frac) * binWidth;
+                return (static_cast<double>(i) + frac) * binWidth_;
             }
             running = next;
         }
@@ -94,7 +96,7 @@ class Histogram
     merge(const Histogram &other)
     {
         BH_ASSERT(other.bins.size() == bins.size() &&
-                      other.binWidth == binWidth,
+                      other.binWidth_ == binWidth_,
                   "histogram geometry mismatch in merge");
         for (std::size_t i = 0; i < bins.size(); ++i)
             bins[i] += other.bins[i];
@@ -114,8 +116,45 @@ class Histogram
         max_ = 0.0;
     }
 
+    // --- raw access (JSON export / exact comparison) -----------------
+
+    /** Bin width in recorded units. */
+    double binWidth() const { return binWidth_; }
+
+    /** Raw bin counts; the final element is the overflow bin. */
+    const std::vector<std::uint64_t> &rawBins() const { return bins; }
+
+    /** Sum of all recorded samples. */
+    double sum() const { return sum_; }
+
+    /**
+     * Rebuild a histogram from exported raw state (the inverse of
+     * rawBins()/sum()/max()); @p raw_bins must include the overflow bin.
+     */
+    static Histogram
+    fromRaw(double bin_width, std::vector<std::uint64_t> raw_bins,
+            double sum, double max)
+    {
+        BH_ASSERT(!raw_bins.empty(), "histogram needs an overflow bin");
+        Histogram h(bin_width, raw_bins.size() - 1);
+        h.bins = std::move(raw_bins);
+        for (std::uint64_t c : h.bins)
+            h.count_ += c;
+        h.sum_ = sum;
+        h.max_ = max;
+        return h;
+    }
+
+    bool
+    operator==(const Histogram &other) const
+    {
+        return binWidth_ == other.binWidth_ && bins == other.bins &&
+               count_ == other.count_ && sum_ == other.sum_ &&
+               max_ == other.max_;
+    }
+
   private:
-    double binWidth;
+    double binWidth_;
     std::vector<std::uint64_t> bins;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;

@@ -1,0 +1,80 @@
+#include "stats/result_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace bh {
+
+void
+ResultLog::append(std::uint64_t index, std::string key, JsonValue payload)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    records.push_back({index, std::move(key), std::move(payload)});
+}
+
+std::size_t
+ResultLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return records.size();
+}
+
+std::vector<ResultRecord>
+ResultLog::sorted() const
+{
+    std::vector<ResultRecord> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        out = records;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ResultRecord &a, const ResultRecord &b) {
+                  return a.index < b.index;
+              });
+    return out;
+}
+
+JsonValue
+ResultLog::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    JsonValue arr = JsonValue::array();
+    for (const ResultRecord &record : sorted()) {
+        JsonValue row = JsonValue::object();
+        row.set("index", record.index);
+        row.set("key", record.key);
+        row.set("payload", record.payload);
+        arr.push(std::move(row));
+    }
+    doc.set("records", std::move(arr));
+    return doc;
+}
+
+void
+ResultLog::loadJson(const JsonValue &v)
+{
+    const JsonValue &arr = v.get("records");
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const JsonValue &row = arr.at(i);
+        append(row.get("index").asU64(), row.get("key").asString(),
+               row.get("payload"));
+    }
+}
+
+void
+ResultLog::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        BH_FATAL("result log write failed");
+    }
+    std::string text = toJson().dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+}
+
+} // namespace bh

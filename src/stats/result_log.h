@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Thread-safe ordered sink for streamed experiment records.
+ *
+ * Scheduler workers complete experiments in a nondeterministic order; the
+ * ResultLog keys every record by its grid index and serializes sorted by
+ * that index, so the exported JSON document is bit-identical no matter how
+ * many worker threads produced it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/json.h"
+
+namespace bh {
+
+/** One streamed record: a grid index, a stable key, and a payload. */
+struct ResultRecord
+{
+    std::uint64_t index = 0;
+    std::string key;
+    JsonValue payload;
+};
+
+/** Collects records from concurrent producers; exports deterministically. */
+class ResultLog
+{
+  public:
+    /** Append one record (thread-safe). */
+    void append(std::uint64_t index, std::string key, JsonValue payload);
+
+    /** Number of records appended so far (thread-safe). */
+    std::size_t size() const;
+
+    /** All records sorted by index (thread-safe snapshot). */
+    std::vector<ResultRecord> sorted() const;
+
+    /**
+     * The whole log as one JSON document:
+     * {"records": [{"index":..., "key":..., "payload":...}, ...]} with
+     * records sorted by index.
+     */
+    JsonValue toJson() const;
+
+    /** Append every record of a toJson() document to this log. */
+    void loadJson(const JsonValue &v);
+
+    /** Write toJson() to @p path (pretty-printed). Fatal on I/O error. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex;
+    std::vector<ResultRecord> records;
+};
+
+} // namespace bh

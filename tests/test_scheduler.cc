@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine (sim/scheduler.h): scheduler
+ * determinism across worker counts, per-run seed derivation, streaming,
+ * the memoizing ExperimentPool, and golden-value regressions for the
+ * paper's headline metrics on two small fixed mixes.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "sim/scheduler.h"
+#include "stats/result_log.h"
+
+namespace bh {
+namespace {
+
+/** Instruction horizon small enough for fast tests, long enough for the
+ *  mitigations and BreakHammer windows to engage. */
+constexpr std::uint64_t kInsts = 20000;
+
+ExperimentConfig
+smallConfig(const char *pattern, MitigationType mech, unsigned n_rh,
+            bool bh_on)
+{
+    ExperimentConfig cfg;
+    cfg.mix = makeMix(pattern, 0);
+    cfg.mechanism = mech;
+    cfg.nRh = n_rh;
+    cfg.breakHammer = bh_on;
+    cfg.instructions = kInsts;
+    return cfg;
+}
+
+std::vector<ExperimentConfig>
+testGrid()
+{
+    return {
+        smallConfig("HHMA", MitigationType::kGraphene, 512, true),
+        smallConfig("HHMA", MitigationType::kGraphene, 512, false),
+        smallConfig("LLLA", MitigationType::kPara, 1024, true),
+        smallConfig("MMLL", MitigationType::kNone, 1024, false),
+        smallConfig("MMLA", MitigationType::kRfm, 256, true),
+        smallConfig("HHMM", MitigationType::kHydra, 512, false),
+    };
+}
+
+/** Bit-exact equality of two experiment results. */
+void
+expectIdentical(const ExperimentResult &a, const ExperimentResult &b)
+{
+    EXPECT_EQ(a.weightedSpeedup, b.weightedSpeedup);
+    EXPECT_EQ(a.maxSlowdown, b.maxSlowdown);
+    EXPECT_EQ(a.energyNj, b.energyNj);
+    EXPECT_EQ(a.preventiveActions, b.preventiveActions);
+    EXPECT_EQ(a.raw.cycles, b.raw.cycles);
+    EXPECT_EQ(a.raw.demandActs, b.raw.demandActs);
+    EXPECT_EQ(a.raw.suspectMarks, b.raw.suspectMarks);
+    EXPECT_EQ(a.raw.quotaRejections, b.raw.quotaRejections);
+    EXPECT_EQ(a.raw.benignIpcs(), b.raw.benignIpcs());
+    EXPECT_TRUE(a.raw.benignReadLatencyNs == b.raw.benignReadLatencyNs);
+}
+
+TEST(SchedulerTest, IdenticalResultsAt1And2And8Threads)
+{
+    std::vector<ExperimentConfig> grid = testGrid();
+
+    std::vector<std::vector<ExperimentResult>> runs;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        SchedulerOptions options;
+        options.threads = threads;
+        ExperimentScheduler scheduler(options);
+        EXPECT_EQ(scheduler.threadCount(), threads);
+        runs.push_back(scheduler.run(grid));
+    }
+
+    for (const auto &run : runs)
+        ASSERT_EQ(run.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        expectIdentical(runs[0][i], runs[1][i]);
+        expectIdentical(runs[0][i], runs[2][i]);
+    }
+}
+
+TEST(SchedulerTest, DerivedSeedsAreDeterministicAcrossThreadCounts)
+{
+    std::vector<ExperimentConfig> grid = testGrid();
+
+    std::vector<std::vector<ExperimentResult>> runs;
+    for (unsigned threads : {1u, 8u}) {
+        SchedulerOptions options;
+        options.threads = threads;
+        options.deriveSeeds = true;
+        ExperimentScheduler scheduler(options);
+        runs.push_back(scheduler.run(grid));
+    }
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        expectIdentical(runs[0][i], runs[1][i]);
+}
+
+TEST(SchedulerTest, DeriveRunSeedIsPureAndDecorrelated)
+{
+    EXPECT_EQ(ExperimentScheduler::deriveRunSeed(1, 0),
+              ExperimentScheduler::deriveRunSeed(1, 0));
+    EXPECT_NE(ExperimentScheduler::deriveRunSeed(1, 0),
+              ExperimentScheduler::deriveRunSeed(1, 1));
+    EXPECT_NE(ExperimentScheduler::deriveRunSeed(1, 0),
+              ExperimentScheduler::deriveRunSeed(2, 0));
+    EXPECT_NE(ExperimentScheduler::deriveRunSeed(0, 0), 0u);
+}
+
+TEST(SchedulerTest, MatchesDirectRunExperiment)
+{
+    ExperimentConfig cfg =
+        smallConfig("HHMA", MitigationType::kGraphene, 512, true);
+    ExperimentResult direct = runExperiment(cfg);
+
+    SchedulerOptions options;
+    options.threads = 2;
+    ExperimentScheduler scheduler(options);
+    std::vector<ExperimentResult> scheduled = scheduler.run({cfg});
+    ASSERT_EQ(scheduled.size(), 1u);
+    expectIdentical(direct, scheduled[0]);
+}
+
+TEST(SchedulerTest, StreamsEveryIndexExactlyOnce)
+{
+    std::vector<ExperimentConfig> grid = testGrid();
+
+    std::set<std::size_t> seen;
+    std::atomic<unsigned> calls{0};
+    SchedulerOptions options;
+    options.threads = 4;
+    options.onResult = [&](std::size_t index, const ExperimentConfig &,
+                           const ExperimentResult &) {
+        seen.insert(index); // serialized by the scheduler's stream lock
+        ++calls;
+    };
+    ResultLog log;
+    options.log = &log;
+    ExperimentScheduler scheduler(options);
+    scheduler.run(grid);
+
+    EXPECT_EQ(calls.load(), grid.size());
+    EXPECT_EQ(seen.size(), grid.size());
+    EXPECT_EQ(log.size(), grid.size());
+
+    // The log's export is index-ordered regardless of completion order.
+    std::vector<ResultRecord> sorted = log.sorted();
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        EXPECT_EQ(sorted[i].index, i);
+        EXPECT_EQ(sorted[i].key, experimentKey(grid[i]));
+    }
+}
+
+TEST(SchedulerTest, LogExportIsIdenticalAcrossThreadCounts)
+{
+    std::vector<ExperimentConfig> grid = testGrid();
+
+    std::vector<std::string> dumps;
+    for (unsigned threads : {1u, 8u}) {
+        ResultLog log;
+        SchedulerOptions options;
+        options.threads = threads;
+        options.log = &log;
+        ExperimentScheduler scheduler(options);
+        scheduler.run(grid);
+        dumps.push_back(log.toJson().dump());
+    }
+    EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(ExperimentPoolTest, MemoizesAndDedupsPrefetch)
+{
+    ExperimentPool pool(2);
+    ExperimentConfig cfg =
+        smallConfig("MMLL", MitigationType::kNone, 1024, false);
+
+    // Duplicates inside one prefetch collapse to one simulation.
+    pool.prefetch({cfg, cfg, cfg});
+    EXPECT_EQ(pool.size(), 1u);
+
+    // A second prefetch of a cached point adds nothing.
+    pool.prefetch({cfg});
+    EXPECT_EQ(pool.size(), 1u);
+
+    const ExperimentResult &a = pool.get(cfg);
+    const ExperimentResult &b = pool.get(cfg);
+    EXPECT_EQ(&a, &b); // same cached entry, not a re-run
+
+    ExperimentResult direct = runExperiment(cfg);
+    expectIdentical(direct, a);
+}
+
+TEST(ExperimentPoolTest, JsonSortedByKeyAndStable)
+{
+    std::vector<ExperimentConfig> grid = testGrid();
+
+    ExperimentPool pool1(1), pool8(8);
+    // Feed the pools in different orders; the export must not care.
+    pool1.prefetch(grid);
+    std::vector<ExperimentConfig> reversed(grid.rbegin(), grid.rend());
+    pool8.prefetch(reversed);
+
+    std::string a = pool1.toJson().dump();
+    std::string b = pool8.toJson().dump();
+    EXPECT_EQ(a, b);
+
+    JsonValue arr = pool1.toJson();
+    ASSERT_EQ(arr.size(), grid.size());
+    for (std::size_t i = 1; i < arr.size(); ++i)
+        EXPECT_LT(arr.at(i - 1).get("key").asString(),
+                  arr.at(i).get("key").asString());
+}
+
+TEST(SchedulerTest, ExperimentKeyDistinguishesEveryKnob)
+{
+    ExperimentConfig base =
+        smallConfig("HHMA", MitigationType::kGraphene, 512, true);
+    std::set<std::string> keys;
+    keys.insert(experimentKey(base));
+
+    ExperimentConfig c = base;
+    c.nRh = 256;
+    keys.insert(experimentKey(c));
+    c = base;
+    c.mechanism = MitigationType::kPara;
+    keys.insert(experimentKey(c));
+    c = base;
+    c.breakHammer = false;
+    keys.insert(experimentKey(c));
+    c = base;
+    c.bh.window = 123456;
+    keys.insert(experimentKey(c));
+    c = base;
+    c.bh.thThreat = 7.5;
+    keys.insert(experimentKey(c));
+    c = base;
+    c.bluntThrottle = true;
+    keys.insert(experimentKey(c));
+    c = base;
+    c.seed = 99;
+    keys.insert(experimentKey(c));
+    c = base;
+    c.instructions = kInsts + 1;
+    keys.insert(experimentKey(c));
+
+    EXPECT_EQ(keys.size(), 9u);
+}
+
+// ---------------------------------------------------------------------
+// Golden-value regressions: the headline metrics on two small fixed
+// mixes must not drift silently. Values recorded from the seed
+// implementation at kInsts = 20000 (see CHANGES.md); any legitimate
+// change to simulator behavior must update them consciously.
+// ---------------------------------------------------------------------
+
+TEST(GoldenTest, GrapheneWithBreakHammerOnHhmaAttackMix)
+{
+    ExperimentResult r = runExperiment(
+        smallConfig("HHMA", MitigationType::kGraphene, 512, true));
+    EXPECT_NEAR(r.weightedSpeedup, 0.72237629069954734, 1e-9);
+    EXPECT_NEAR(r.maxSlowdown, 5.4407584830339317, 1e-9);
+    EXPECT_EQ(r.preventiveActions, 28u);
+}
+
+TEST(GoldenTest, ParaOnLllaAttackMix)
+{
+    ExperimentResult r = runExperiment(
+        smallConfig("LLLA", MitigationType::kPara, 1024, false));
+    EXPECT_NEAR(r.weightedSpeedup, 0.4050787225408623, 1e-9);
+    EXPECT_NEAR(r.maxSlowdown, 8.7126353790613713, 1e-9);
+    EXPECT_EQ(r.preventiveActions, 87u);
+}
+
+} // namespace
+} // namespace bh
