@@ -21,6 +21,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/registry.h"
+#include "common/env.h"
 
 namespace {
 
@@ -55,6 +56,19 @@ main(int argc, char **argv)
     using namespace bh;
     using Clock = std::chrono::steady_clock;
 
+    // Validate the scale knobs up front: a negative or malformed BH_INSTS
+    // would otherwise wrap to a huge unsigned and hang the whole run.
+    if (const char *insts = std::getenv("BH_INSTS");
+        insts != nullptr && *insts != '\0') {
+        std::uint64_t parsed = 0;
+        if (!parsePositiveU64(insts, &parsed)) {
+            std::fprintf(stderr,
+                         "error: BH_INSTS=%s is not a positive integer\n",
+                         insts);
+            return 2;
+        }
+    }
+
     unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
     std::string json_path;
     bool run_all = false;
@@ -69,10 +83,16 @@ main(int argc, char **argv)
             listFigures();
             return 0;
         } else if (arg.rfind("--jobs=", 0) == 0) {
-            jobs = static_cast<unsigned>(
-                std::strtoul(arg.c_str() + 7, nullptr, 10));
-            if (jobs == 0)
-                jobs = 1;
+            std::uint64_t parsed = 0;
+            if (!parsePositiveU64(arg.c_str() + 7, &parsed) ||
+                parsed > 1024) {
+                std::fprintf(stderr,
+                             "error: --jobs wants a positive integer "
+                             "(1..1024), got \"%s\"\n",
+                             arg.c_str() + 7);
+                return 2;
+            }
+            jobs = static_cast<unsigned>(parsed);
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path = arg.substr(7);
         } else if (arg == "all") {

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compare a benchmark's wall clock against the checked-in perf budget.
+
+Usage: check_perf.py <budget-key> <time-v-output-file>
+
+The second argument is the stderr of `/usr/bin/time -v <command>`; the
+script extracts the "Elapsed (wall clock) time" line, compares it against
+ci/perf_budget.json's entry for <budget-key>, prints a summary, and exits
+non-zero when the budget is exceeded. Stdlib only — no pip dependencies.
+"""
+
+import json
+import pathlib
+import re
+import sys
+
+
+def parse_wall_seconds(time_v_text: str) -> float:
+    """Parse GNU time -v's h:mm:ss or m:ss.ff elapsed format."""
+    match = re.search(
+        r"Elapsed \(wall clock\) time.*:\s*(?:(\d+):)?(\d+):([\d.]+)",
+        time_v_text,
+    )
+    if not match:
+        raise ValueError("no 'Elapsed (wall clock) time' line found")
+    hours = int(match.group(1) or 0)
+    minutes = int(match.group(2))
+    seconds = float(match.group(3))
+    return hours * 3600 + minutes * 60 + seconds
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    key, time_file = sys.argv[1], sys.argv[2]
+
+    budget_path = pathlib.Path(__file__).parent / "perf_budget.json"
+    budgets = json.loads(budget_path.read_text())
+    if key not in budgets:
+        print(f"error: no budget entry '{key}' in {budget_path}",
+              file=sys.stderr)
+        return 2
+    budget = budgets[key]
+    limit = float(budget["max_wall_seconds"])
+
+    wall = parse_wall_seconds(pathlib.Path(time_file).read_text())
+
+    print(f"perf[{key}]: wall clock {wall:.2f} s, budget {limit:.2f} s "
+          f"({wall / limit * 100.0:.0f}% of budget)")
+    print(f"  command: {budget.get('command', '?')}")
+    if wall > limit:
+        print(f"perf[{key}]: FAIL — over budget by {wall - limit:.2f} s. "
+              "If this slowdown is intentional, update ci/perf_budget.json "
+              "with a justification.", file=sys.stderr)
+        return 1
+    print(f"perf[{key}]: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -106,6 +106,14 @@ class BreakHammer : public IActionObserver
      */
     void rollWindows(Cycle now);
 
+    /**
+     * Cycle of the next throttling-window boundary. rollWindows(t) is a
+     * no-op for every t below this; at or past it, a window ends (quotas
+     * of threads that stayed benign are restored, counter sets swap).
+     * System::run's skip-ahead loop must not jump over it.
+     */
+    Cycle nextWindowBoundary() const { return windowStart + config_.window; }
+
   private:
     void updateScores(double weight, Cycle now);
     void checkOutliers(Cycle now);

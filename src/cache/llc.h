@@ -68,6 +68,14 @@ class Llc
     std::uint64_t misses() const { return misses_; }
     std::uint64_t writebacks() const { return writebacks_; }
 
+    /**
+     * Batch miss accounting for System::run's skip-ahead loop: a
+     * reject-blocked core's retry probes the cache (and counts a miss)
+     * once per dense cycle, so skipped retries are accounted here to
+     * keep the counter bit-identical to the dense reference loop.
+     */
+    void addMisses(std::uint64_t n) { misses_ += n; }
+
   private:
     struct Line
     {

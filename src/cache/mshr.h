@@ -85,7 +85,15 @@ class MshrFile : public IThrottleTarget
     {
         BH_ASSERT(thread < quotas.size(), "quota for unknown thread");
         quotas[thread] = q;
+        ++quotaWrites_;
     }
+
+    /**
+     * Monotone count of setQuota() calls. The skip-ahead loop snapshots
+     * it to detect quota updates that happen to restore the previous
+     * values within one tick.
+     */
+    std::uint64_t quotaWrites() const { return quotaWrites_; }
 
     unsigned fullQuota() const override { return numEntries; }
 
@@ -101,6 +109,13 @@ class MshrFile : public IThrottleTarget
     /** Call when canAllocate failed because of the quota, for stats. */
     void noteQuotaRejection() { ++quotaRejections_; }
 
+    /**
+     * Batch form of noteQuotaRejection() for System::run's skip-ahead
+     * loop: a reject-blocked core repeats the identical quota-rejected
+     * retry once per skipped cycle.
+     */
+    void addQuotaRejections(std::uint64_t n) { quotaRejections_ += n; }
+
   private:
     struct Entry
     {
@@ -114,6 +129,7 @@ class MshrFile : public IThrottleTarget
     mutable std::vector<unsigned> inflight;
     std::unordered_map<Addr, Entry> entries;
     std::uint64_t quotaRejections_ = 0;
+    std::uint64_t quotaWrites_ = 0;
 };
 
 } // namespace bh

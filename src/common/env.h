@@ -35,4 +35,30 @@ envFlag(const char *name)
     return envU64(name, 0) != 0;
 }
 
+/**
+ * Strictly parse @p text as a positive decimal integer. Rejects empty
+ * strings, signs (so "-5" cannot wrap to a huge unsigned), non-digit
+ * characters, zero, and values that overflow std::uint64_t.
+ * @return true and stores into @p out on success.
+ */
+inline bool
+parsePositiveU64(const char *text, std::uint64_t *out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    std::uint64_t value = 0;
+    for (const char *p = text; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return false; // Overflow.
+        value = value * 10 + digit;
+    }
+    if (value == 0)
+        return false;
+    *out = value;
+    return true;
+}
+
 } // namespace bh

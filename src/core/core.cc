@@ -1,5 +1,7 @@
 #include "core/core.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace bh {
@@ -41,6 +43,7 @@ Core::issueOne(Cycle now)
         --pendingBubbles;
         ++issueCounter;
         ++occupancy;
+        stalledOnReject_ = false;
         return true;
     }
 
@@ -49,6 +52,7 @@ Core::issueOne(Cycle now)
         AccessOutcome out = memory->store(id_, rec.addr, rec.uncached);
         if (out == AccessOutcome::kRejected) {
             ++rejectStalls;
+            stalledOnReject_ = true;
             return false;
         }
         window[slot].doneAt = now; // Stores retire at issue.
@@ -64,6 +68,7 @@ Core::issueOne(Cycle now)
             break;
           case AccessOutcome::kRejected:
             ++rejectStalls;
+            stalledOnReject_ = true;
             return false;
         }
     }
@@ -71,7 +76,31 @@ Core::issueOne(Cycle now)
     ++issueCounter;
     ++occupancy;
     recValid = false;
+    stalledOnReject_ = false;
     return true;
+}
+
+Cycle
+Core::nextEventCycle(Cycle now) const
+{
+    // The earliest in-order retire the core can perform on its own: the
+    // head entry's completion time. A head waiting on a DRAM fill
+    // (kNeverCycle) is woken by the controller's completion event instead.
+    Cycle retire_at = kNeverCycle;
+    if (occupancy > 0) {
+        Cycle done = window[head].doneAt;
+        if (done != kNeverCycle)
+            retire_at = std::max(done, now + 1);
+    }
+
+    // Window slots remain and the last attempt was not a rejection: the
+    // very next cycle issues something (or discovers a rejection).
+    if (occupancy < window.size() && !stalledOnReject_)
+        return now + 1;
+
+    // Window full, or reject-blocked: while the memory system's state is
+    // frozen, ticks are no-ops apart from the batched stall accounting.
+    return retire_at;
 }
 
 void

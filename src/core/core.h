@@ -95,6 +95,33 @@ class Core
     /** Cycles the front end was blocked by a rejected memory access. */
     std::uint64_t rejectStallCycles() const { return rejectStalls; }
 
+    /**
+     * Earliest cycle > @p now at which this core's tick can do anything
+     * beyond what a stalled tick does, assuming the memory system's state
+     * does not change in between. kNeverCycle means only an external event
+     * (a load completion, a quota or queue state change) can unblock it.
+     * Called by System::run's skip-ahead loop right after tick(now).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Whether the last issue attempt was rejected by the memory system
+     * while window slots remain: every further cycle with unchanged memory
+     * state repeats the identical rejected retry. System::run batches
+     * those retries' stall accounting across skipped cycles.
+     */
+    bool
+    stalledOnReject() const
+    {
+        return occupancy < window.size() && stalledOnReject_;
+    }
+
+    /** Account @p cycles skipped reject-stall cycles (skip-ahead loop). */
+    void addRejectStallCycles(std::uint64_t cycles)
+    {
+        rejectStalls += cycles;
+    }
+
     /** Memory accesses issued (loads + stores). */
     std::uint64_t memoryAccesses() const { return memAccesses; }
 
@@ -119,6 +146,7 @@ class Core
 
     std::uint32_t pendingBubbles = 0;
     bool recValid = false;
+    bool stalledOnReject_ = false; ///< Last issue attempt was rejected.
     TraceRecord rec;
 
     std::uint64_t retired_ = 0;

@@ -68,6 +68,56 @@ TimingEngine::canIssue(DramCommand cmd, unsigned flat_bank, Cycle now) const
     return false;
 }
 
+Cycle
+TimingEngine::earliestIssue(DramCommand cmd, unsigned flat_bank,
+                            Cycle now) const
+{
+    const BankState &b = banks[flat_bank];
+    const RankState &r = ranks[rankOf(flat_bank)];
+    Cycle at = std::max({now, b.blockedUntil, r.blockedUntil});
+
+    switch (cmd) {
+      case DramCommand::kAct: {
+        if (b.open)
+            return kNeverCycle;
+        at = std::max(at, b.nextAct);
+        if (r.hasLastAct) {
+            Cycle spacing = (bankGroupOf(flat_bank) == r.lastActBankGroup)
+                                ? spec_.timing.tRRD_L
+                                : spec_.timing.tRRD_S;
+            at = std::max(at, r.lastAct + spacing);
+        }
+        if (r.fawCount >= 4)
+            at = std::max(at, r.fawWindow[r.fawHead] + spec_.timing.tFAW);
+        return at;
+      }
+      case DramCommand::kPre:
+        return b.open ? std::max(at, b.nextPre) : kNeverCycle;
+      case DramCommand::kRead:
+        return b.open ? std::max({at, b.nextRdWr, bus.nextRead})
+                      : kNeverCycle;
+      case DramCommand::kWrite:
+        return b.open ? std::max({at, b.nextRdWr, bus.nextWrite})
+                      : kNeverCycle;
+    }
+    return kNeverCycle;
+}
+
+Cycle
+TimingEngine::quiescedAt(unsigned rank, Cycle now) const
+{
+    const RankState &r = ranks[rank];
+    Cycle at = std::max(now, r.blockedUntil);
+    unsigned base = rank * spec_.org.banksPerRank();
+    for (unsigned i = 0; i < spec_.org.banksPerRank(); ++i) {
+        const BankState &b = banks[base + i];
+        if (b.open)
+            return kNeverCycle;
+        at = std::max(at, b.blockedUntil);
+    }
+    return at;
+}
+
 void
 TimingEngine::issueAct(unsigned flat_bank, unsigned row, Cycle now)
 {

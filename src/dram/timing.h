@@ -71,6 +71,26 @@ class TimingEngine
     /** Whether @p cmd to @p flat_bank is legal at cycle @p now. */
     bool canIssue(DramCommand cmd, unsigned flat_bank, Cycle now) const;
 
+    /**
+     * Earliest cycle >= @p now at which @p cmd to @p flat_bank becomes
+     * legal, assuming no further commands are issued in between. Returns
+     * kNeverCycle when only another command could make it legal (ACT on an
+     * open bank, column/PRE on a closed one). The result is exact for the
+     * frozen state: canIssue(cmd, fb, t) is false for every t below it and
+     * true at it. The skip-ahead loop in System::run uses this to jump
+     * straight to the next cycle the controller can make progress.
+     */
+    Cycle earliestIssue(DramCommand cmd, unsigned flat_bank,
+                        Cycle now) const;
+
+    /**
+     * Earliest cycle >= @p now at which @p rank is fully quiesced (every
+     * bank precharged and all blackouts expired), assuming no further
+     * commands. kNeverCycle while any bank is still open (a PRE has to
+     * happen first).
+     */
+    Cycle quiescedAt(unsigned rank, Cycle now) const;
+
     /** Issue ACT opening @p row. @pre canIssue(kAct, ...). */
     void issueAct(unsigned flat_bank, unsigned row, Cycle now);
 

@@ -6,10 +6,21 @@
 
 namespace bh {
 
+namespace {
+
+/** Sentinel sequence number meaning "no candidate". */
+constexpr std::uint64_t kNoSeq = static_cast<std::uint64_t>(-1);
+
+} // namespace
+
 MemoryController::MemoryController(const DramSpec &spec,
                                    const AddressMapper &mapper,
                                    const McConfig &config)
     : spec_(spec), mapper(mapper), config_(config), engine_(spec),
+      readQ(spec.org.totalBanks()),
+      writeQ(spec.org.totalBanks()),
+      readScan(spec.org.totalBanks()),
+      writeScan(spec.org.totalBanks()),
       maintQ(spec.org.totalBanks()),
       nextRefAt(spec.org.ranks, spec.timing.tREFI),
       refSweepPos(spec.org.ranks, 0),
@@ -31,7 +42,8 @@ MemoryController::enqueueRead(Request req, Cycle now)
     req.da = mapper.decode(req.addr);
     req.flatBank = mapper.flatBank(req.da);
     req.enqueueCycle = now;
-    readQ.push_back(req);
+    readQ.push(req);
+    invalidateScan(true, req.flatBank);
 }
 
 void
@@ -41,7 +53,70 @@ MemoryController::enqueueWrite(Request req, Cycle now)
     req.da = mapper.decode(req.addr);
     req.flatBank = mapper.flatBank(req.da);
     req.enqueueCycle = now;
-    writeQ.push_back(req);
+    writeQ.push(req);
+    invalidateScan(false, req.flatBank);
+}
+
+// --- Scan-cache maintenance -------------------------------------------
+
+const MemoryController::BankScan &
+MemoryController::scanOf(bool is_read, unsigned fb) const
+{
+    BankScan &scan = (is_read ? readScan : writeScan)[fb];
+    if (scan.valid)
+        return scan;
+    scan.hitPos = kNoPos;
+    scan.confPos = kNoPos;
+    const BankState &bank = engine_.bank(fb);
+    const std::deque<QueuedRequest> &fifo =
+        (is_read ? readQ : writeQ).bank(fb);
+    if (!bank.open) {
+        // No open row: every entry is a conflict, the oldest leads.
+        if (!fifo.empty())
+            scan.confPos = 0;
+        scan.valid = true;
+        return scan;
+    }
+    for (std::size_t i = 0; i < fifo.size(); ++i) {
+        if (fifo[i].req.da.row == bank.openRow) {
+            if (scan.hitPos == kNoPos)
+                scan.hitPos = i;
+        } else if (scan.confPos == kNoPos) {
+            scan.confPos = i;
+        }
+        if (scan.hitPos != kNoPos && scan.confPos != kNoPos)
+            break;
+    }
+    scan.valid = true;
+    return scan;
+}
+
+void
+MemoryController::invalidateScan(bool is_read, unsigned fb)
+{
+    (is_read ? readScan : writeScan)[fb].valid = false;
+}
+
+void
+MemoryController::invalidateRowState(unsigned fb)
+{
+    readScan[fb].valid = false;
+    writeScan[fb].valid = false;
+}
+
+void
+MemoryController::invalidateRank(unsigned rank)
+{
+    unsigned base = rank * spec_.org.banksPerRank();
+    for (unsigned i = 0; i < spec_.org.banksPerRank(); ++i)
+        invalidateRowState(base + i);
+}
+
+void
+MemoryController::invalidateAllRowState()
+{
+    for (unsigned r = 0; r < spec_.org.ranks; ++r)
+        invalidateRank(r);
 }
 
 // --- IMitigationHost -------------------------------------------------
@@ -55,6 +130,7 @@ MemoryController::performVictimRefresh(unsigned flat_bank, unsigned row,
     op.duration = spec_.timing.tRC * op.victimRows;
     op.protectedRow = static_cast<long>(row);
     maintQ[flat_bank].push_back(op);
+    ++maintOpsPending_;
     ++preventiveActions_;
     if (observer != nullptr)
         observer->onPreventiveAction(weight, lastSeenCycle);
@@ -68,6 +144,7 @@ MemoryController::performMigration(unsigned flat_bank, unsigned row)
     op.duration = nsToCycles(config_.migrationLatencyNs);
     op.protectedRow = static_cast<long>(row);
     maintQ[flat_bank].push_back(op);
+    ++maintOpsPending_;
     ++preventiveActions_;
     if (observer != nullptr)
         observer->onPreventiveAction(1.0, lastSeenCycle);
@@ -79,6 +156,7 @@ MemoryController::performRfm(unsigned flat_bank, double weight)
     MaintOp op;
     op.duration = spec_.timing.tRFM;
     maintQ[flat_bank].push_back(op);
+    ++maintOpsPending_;
     engine_.energy().addRfm();
     ++preventiveActions_;
     if (observer != nullptr)
@@ -96,6 +174,7 @@ MemoryController::performAlertBackoff(unsigned rfms, double weight)
         for (unsigned i = 0; i < rfms; ++i)
             engine_.energy().addRfm();
     }
+    invalidateAllRowState(); // blockRank closes every open row.
     ++preventiveActions_;
     if (observer != nullptr)
         observer->onPreventiveAction(weight, lastSeenCycle);
@@ -108,6 +187,7 @@ MemoryController::performTrackerAccess(unsigned flat_bank, Cycle duration,
     MaintOp op;
     op.duration = duration;
     maintQ[flat_bank].push_back(op);
+    ++maintOpsPending_;
     ++preventiveActions_;
     if (observer != nullptr)
         observer->onPreventiveAction(weight, lastSeenCycle);
@@ -156,6 +236,7 @@ MemoryController::serviceRefresh(Cycle now)
             continue;
         if (engine_.rankQuiesced(rank, now)) {
             engine_.issueRefresh(rank, now);
+            invalidateRank(rank);
             useCommandSlot(now);
             nextRefAt[rank] += spec_.timing.tREFI;
 
@@ -178,6 +259,7 @@ MemoryController::serviceRefresh(Cycle now)
                 engine_.canIssue(DramCommand::kPre, fb, now)) {
                 engine_.issuePre(fb, now);
                 hitStreak[fb] = 0;
+                invalidateRowState(fb);
                 useCommandSlot(now);
                 return true;
             }
@@ -189,6 +271,8 @@ MemoryController::serviceRefresh(Cycle now)
 bool
 MemoryController::serviceMaintenance(Cycle now)
 {
+    if (maintOpsPending_ == 0)
+        return false;
     for (unsigned fb = 0; fb < maintQ.size(); ++fb) {
         if (maintQ[fb].empty())
             continue;
@@ -201,6 +285,7 @@ MemoryController::serviceMaintenance(Cycle now)
             if (engine_.canIssue(DramCommand::kPre, fb, now)) {
                 engine_.issuePre(fb, now);
                 hitStreak[fb] = 0;
+                invalidateRowState(fb);
                 useCommandSlot(now);
                 return true;
             }
@@ -210,6 +295,7 @@ MemoryController::serviceMaintenance(Cycle now)
             continue;
         MaintOp op = maintQ[fb].front();
         maintQ[fb].pop_front();
+        --maintOpsPending_;
         engine_.blockBank(fb, now, op.duration);
         if (op.isMigration)
             engine_.energy().addMigration();
@@ -227,6 +313,7 @@ void
 MemoryController::issueDemandAct(const Request &req, Cycle now)
 {
     engine_.issueAct(req.flatBank, req.da.row, now);
+    invalidateRowState(req.flatBank);
     hitStreak[req.flatBank] = 0;
     ++demandActs_;
     if (onDemandAct)
@@ -237,8 +324,38 @@ MemoryController::issueDemandAct(const Request &req, Cycle now)
         mitigation->onActivate(req.flatBank, req.da.row, req.thread, now);
 }
 
+void
+MemoryController::issueColumn(BankedRequestQueue &queue, bool is_read,
+                              unsigned fb, std::size_t pos,
+                              bool counts_against_cap, Cycle now)
+{
+    const QueuedRequest &qr = queue.bank(fb)[pos];
+    if (is_read) {
+        Cycle ready = engine_.issueRead(fb, now);
+        std::uint64_t slot;
+        if (!freePendingSlots.empty()) {
+            slot = freePendingSlots.back();
+            freePendingSlots.pop_back();
+            pendingReads[slot] = qr.req;
+        } else {
+            slot = pendingReads.size();
+            pendingReads.push_back(qr.req);
+        }
+        completions.push(PendingCompletion{ready, slot});
+        ++readsServed_;
+    } else {
+        engine_.issueWrite(fb, now);
+        ++writesServed_;
+    }
+    if (counts_against_cap)
+        ++hitStreak[fb];
+    queue.erase(fb, pos);
+    invalidateScan(is_read, fb);
+    useCommandSlot(now);
+}
+
 bool
-MemoryController::tryIssueForQueue(std::deque<Request> &queue, bool is_read,
+MemoryController::tryIssueForQueue(BankedRequestQueue &queue, bool is_read,
                                    Cycle now)
 {
     DramCommand col_cmd = is_read ? DramCommand::kRead : DramCommand::kWrite;
@@ -246,110 +363,196 @@ MemoryController::tryIssueForQueue(std::deque<Request> &queue, bool is_read,
     // Pass 1: oldest row-hit request whose bank's hit streak is under the
     // cap (FR-FCFS+Cap: row hits first, but no more than `cap` younger
     // hits may bypass an older row-conflict request to the same bank).
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-        const Request &req = queue[i];
-        unsigned fb = req.flatBank;
-        const BankState &bank = engine_.bank(fb);
-        if (!bank.open || bank.openRow != req.da.row)
-            continue;
-        if (!maintQ[fb].empty())
-            continue;
-        if (rankHasRefreshPending(engine_.rankOf(fb), now))
-            continue;
-        if (!engine_.canIssue(col_cmd, fb, now))
-            continue;
-
-        // Does an older row-conflict request to this bank wait?
-        bool older_conflict = false;
-        for (std::size_t j = 0; j < i; ++j) {
-            if (queue[j].flatBank == fb && queue[j].da.row != req.da.row) {
-                older_conflict = true;
-                break;
+    // Within a bank only the oldest hit can fire (younger hits share its
+    // bank timing and inherit its conflict), so the globally oldest
+    // eligible hit is the min-seq per-bank candidate.
+    {
+        std::uint64_t best_seq = kNoSeq;
+        unsigned best_fb = 0;
+        std::size_t best_pos = 0;
+        bool best_conflict = false;
+        for (unsigned fb : queue.activeBanks()) {
+            const BankState &bank = engine_.bank(fb);
+            if (!bank.open)
+                continue;
+            if (!maintQ[fb].empty())
+                continue;
+            if (rankHasRefreshPending(engine_.rankOf(fb), now))
+                continue;
+            const BankScan &scan = scanOf(is_read, fb);
+            if (scan.hitPos == kNoPos)
+                continue;
+            if (!engine_.canIssue(col_cmd, fb, now))
+                continue;
+            // Entries ahead of the oldest hit are all row conflicts.
+            bool older_conflict = scan.hitPos > 0;
+            if (older_conflict && hitStreak[fb] >= config_.frfcfsCap)
+                continue;
+            std::uint64_t seq = queue.bank(fb)[scan.hitPos].seq;
+            if (seq < best_seq) {
+                best_seq = seq;
+                best_fb = fb;
+                best_pos = scan.hitPos;
+                best_conflict = older_conflict;
             }
         }
-        if (older_conflict && hitStreak[fb] >= config_.frfcfsCap)
-            continue;
-
-        if (is_read) {
-            Cycle ready = engine_.issueRead(fb, now);
-            std::uint64_t slot;
-            if (!freePendingSlots.empty()) {
-                slot = freePendingSlots.back();
-                freePendingSlots.pop_back();
-                pendingReads[slot] = req;
-            } else {
-                slot = pendingReads.size();
-                pendingReads.push_back(req);
-            }
-            completions.push(PendingCompletion{ready, slot});
-            ++readsServed_;
-        } else {
-            engine_.issueWrite(fb, now);
-            ++writesServed_;
+        if (best_seq != kNoSeq) {
+            issueColumn(queue, is_read, best_fb, best_pos, best_conflict,
+                        now);
+            return true;
         }
-        if (older_conflict)
-            ++hitStreak[fb];
-        queue.erase(queue.begin() + static_cast<long>(i));
-        useCommandSlot(now);
-        return true;
     }
 
-    // Pass 2: oldest request that needs an ACT or a PRE.
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-        const Request &req = queue[i];
-        unsigned fb = req.flatBank;
-        const BankState &bank = engine_.bank(fb);
+    // Pass 2: oldest request that needs an ACT or a PRE. Per bank the
+    // first actionable entry is unique: a closed bank's candidate is its
+    // oldest request (unless a mitigation delays specific rows), an open
+    // bank's is its oldest row conflict, precharging only when no same-row
+    // hit is pending or the hit streak hit the reordering cap.
+    bool probe_order = mitigation != nullptr && mitigation->delaysActs();
+
+    struct Pass2Item
+    {
+        std::uint64_t seq;
+        unsigned fb;
+        std::size_t pos;
+        bool isPre;
+    };
+    std::vector<Pass2Item> items; // Only used on the probe-order path.
+
+    std::uint64_t best_seq = kNoSeq;
+    unsigned best_fb = 0;
+    std::size_t best_pos = 0;
+    bool best_is_pre = false;
+
+    for (unsigned fb : queue.activeBanks()) {
         if (!maintQ[fb].empty())
             continue;
         if (rankHasRefreshPending(engine_.rankOf(fb), now))
             continue;
+        const BankState &bank = engine_.bank(fb);
+        const std::deque<QueuedRequest> &fifo = queue.bank(fb);
 
         if (!bank.open) {
             if (!engine_.canIssue(DramCommand::kAct, fb, now))
                 continue;
-            if (mitigation != nullptr &&
-                mitigation->actReleaseCycle(fb, req.da.row, req.thread,
-                                            now) > now)
-                continue; // BlockHammer-style row delay.
-            issueDemandAct(req, now);
-            useCommandSlot(now);
-            return true;
+            if (!probe_order) {
+                if (fifo.front().seq < best_seq) {
+                    best_seq = fifo.front().seq;
+                    best_fb = fb;
+                    best_pos = 0;
+                    best_is_pre = false;
+                }
+            } else {
+                // Row-delay mechanisms (BlockHammer) are probed per entry
+                // in request-age order below, exactly as a linear scan
+                // would, so their probe-time epoch rolls stay identical.
+                for (std::size_t i = 0; i < fifo.size(); ++i)
+                    items.push_back(Pass2Item{fifo[i].seq, fb, i, false});
+            }
+            continue;
         }
 
-        if (bank.openRow != req.da.row) {
-            // Close the row only when no same-row hit is pending or the
-            // hit streak hit the reordering cap.
-            bool hit_pending = false;
-            for (const Request &other : queue) {
-                if (other.flatBank == fb && other.da.row == bank.openRow) {
-                    hit_pending = true;
-                    break;
-                }
+        const BankScan &scan = scanOf(is_read, fb);
+        if (scan.confPos == kNoPos)
+            continue; // Only same-row entries: column not legal yet.
+        bool hit_pending = scan.hitPos != kNoPos;
+        if (hit_pending && hitStreak[fb] < config_.frfcfsCap)
+            continue; // Keep the row open for the pending hit.
+        if (!engine_.canIssue(DramCommand::kPre, fb, now))
+            continue;
+        std::uint64_t seq = fifo[scan.confPos].seq;
+        if (!probe_order) {
+            if (seq < best_seq) {
+                best_seq = seq;
+                best_fb = fb;
+                best_pos = scan.confPos;
+                best_is_pre = true;
             }
-            if (hit_pending && hitStreak[fb] < config_.frfcfsCap)
-                continue;
-            if (!engine_.canIssue(DramCommand::kPre, fb, now))
-                continue;
-            engine_.issuePre(fb, now);
-            hitStreak[fb] = 0;
+        } else {
+            items.push_back(Pass2Item{seq, fb, scan.confPos, true});
+        }
+    }
+
+    if (probe_order) {
+        std::sort(items.begin(), items.end(),
+                  [](const Pass2Item &a, const Pass2Item &b) {
+                      return a.seq < b.seq;
+                  });
+        for (const Pass2Item &item : items) {
+            if (!item.isPre) {
+                const QueuedRequest &qr = queue.bank(item.fb)[item.pos];
+                if (mitigation->actReleaseCycle(item.fb, qr.req.da.row,
+                                                qr.req.thread, now) > now)
+                    continue; // BlockHammer-style row delay.
+                issueDemandAct(qr.req, now);
+                useCommandSlot(now);
+                return true;
+            }
+            engine_.issuePre(item.fb, now);
+            hitStreak[item.fb] = 0;
+            invalidateRowState(item.fb);
             useCommandSlot(now);
             return true;
         }
-        // Open row matches but the column command was not legal yet.
+        return false;
     }
-    return false;
+
+    if (best_seq == kNoSeq)
+        return false;
+    if (!best_is_pre) {
+        const Request &req = queue.bank(best_fb)[best_pos].req;
+        // Guard the delaysActs() contract: a mechanism that overrides
+        // actReleaseCycle() without also overriding delaysActs() would
+        // silently lose its ACT delays on this fast path.
+        BH_ASSERT(mitigation == nullptr ||
+                      mitigation->actReleaseCycle(best_fb, req.da.row,
+                                                  req.thread, now) <= now,
+                  "mitigation delays ACTs but delaysActs() returns false");
+        issueDemandAct(req, now);
+        useCommandSlot(now);
+        return true;
+    }
+    engine_.issuePre(best_fb, now);
+    hitStreak[best_fb] = 0;
+    invalidateRowState(best_fb);
+    useCommandSlot(now);
+    return true;
+}
+
+bool
+MemoryController::stepDrainFlag(bool draining) const
+{
+    if (draining)
+        return writeQ.size() > config_.wqLowWatermark;
+    return writeQ.size() >= config_.wqHighWatermark ||
+           (readQ.empty() && !writeQ.empty());
+}
+
+void
+MemoryController::accountSkippedCycles(Cycle first, Cycle last)
+{
+    // Dense ticks in [first, last] did nothing (the skip loop proved it),
+    // but each one with a free command slot stepped the drain hysteresis.
+    Cycle start = std::max(first, nextCommandAt);
+    if (start > last)
+        return;
+    Cycle steps = last - start + 1;
+    bool f1 = stepDrainFlag(drainingWrites);
+    if (f1 == drainingWrites)
+        return; // Fixed point.
+    if (stepDrainFlag(f1) == f1) {
+        drainingWrites = f1; // Converges after one step.
+        return;
+    }
+    // Period-2 oscillation: parity of the step count decides.
+    if (steps % 2 != 0)
+        drainingWrites = f1;
 }
 
 bool
 MemoryController::serviceDemand(Cycle now)
 {
-    if (drainingWrites) {
-        if (writeQ.size() <= config_.wqLowWatermark)
-            drainingWrites = false;
-    } else if (writeQ.size() >= config_.wqHighWatermark ||
-               (readQ.empty() && !writeQ.empty())) {
-        drainingWrites = true;
-    }
+    drainingWrites = stepDrainFlag(drainingWrites);
 
     if (drainingWrites && !writeQ.empty()) {
         if (tryIssueForQueue(writeQ, false, now))
@@ -374,6 +577,105 @@ MemoryController::tick(Cycle now)
     if (serviceMaintenance(now))
         return;
     serviceDemand(now);
+}
+
+// --- Skip-ahead support ------------------------------------------------
+
+Cycle
+MemoryController::demandEventCycle(const BankedRequestQueue &queue,
+                                   bool is_read, Cycle now) const
+{
+    DramCommand col_cmd = is_read ? DramCommand::kRead : DramCommand::kWrite;
+    Cycle at = kNeverCycle;
+    for (unsigned fb : queue.activeBanks()) {
+        // Banks gated by maintenance or refresh wake through those paths'
+        // own events (computed in nextEventCycle), not through demand.
+        if (!maintQ[fb].empty())
+            continue;
+        if (rankHasRefreshPending(engine_.rankOf(fb), now))
+            continue;
+        const BankState &bank = engine_.bank(fb);
+        if (!bank.open) {
+            // Mitigation row delays (BlockHammer) may postpone the ACT
+            // further; earliestIssue is still a valid lower bound, and a
+            // too-early wake-up is a harmless no-op tick.
+            at = std::min(at,
+                          engine_.earliestIssue(DramCommand::kAct, fb, now));
+            continue;
+        }
+        const BankScan &scan = scanOf(is_read, fb);
+        bool hit_capped =
+            scan.hitPos != kNoPos && scan.hitPos > 0 &&
+            hitStreak[fb] >= config_.frfcfsCap;
+        if (scan.hitPos != kNoPos && !hit_capped)
+            at = std::min(at, engine_.earliestIssue(col_cmd, fb, now));
+        if (scan.confPos != kNoPos &&
+            (scan.hitPos == kNoPos || hitStreak[fb] >= config_.frfcfsCap))
+            at = std::min(at,
+                          engine_.earliestIssue(DramCommand::kPre, fb, now));
+    }
+    return at;
+}
+
+Cycle
+MemoryController::nextEventCycle(Cycle now) const
+{
+    // Read completions fire before the command-slot gate in tick().
+    Cycle completion_at =
+        completions.empty() ? kNeverCycle : completions.top().readyAt;
+
+    Cycle cmd_at = kNeverCycle;
+
+    // Refresh: upcoming deadlines, or quiesce progress of a pending REF.
+    for (unsigned rank = 0; rank < spec_.org.ranks; ++rank) {
+        if (!rankHasRefreshPending(rank, now)) {
+            cmd_at = std::min(cmd_at, nextRefAt[rank]);
+            continue;
+        }
+        Cycle quiesced = engine_.quiescedAt(rank, now);
+        if (quiesced != kNeverCycle) {
+            // All banks closed: REF issues once every blackout expires.
+            cmd_at = std::min(cmd_at, quiesced);
+            continue;
+        }
+        // Some bank still open: the next quiesce step is its PRE.
+        unsigned base = rank * spec_.org.banksPerRank();
+        for (unsigned i = 0; i < spec_.org.banksPerRank(); ++i) {
+            unsigned fb = base + i;
+            if (engine_.bank(fb).open)
+                cmd_at = std::min(cmd_at, engine_.earliestIssue(
+                                              DramCommand::kPre, fb, now));
+        }
+    }
+
+    // Maintenance: pending ops start when their bank is closed and clear.
+    if (maintOpsPending_ > 0) {
+        for (unsigned fb = 0; fb < maintQ.size(); ++fb) {
+            if (maintQ[fb].empty())
+                continue;
+            if (rankHasRefreshPending(engine_.rankOf(fb), now))
+                continue; // Wakes through the refresh path above.
+            const BankState &bank = engine_.bank(fb);
+            if (bank.open)
+                cmd_at = std::min(cmd_at, engine_.earliestIssue(
+                                              DramCommand::kPre, fb, now));
+            else
+                cmd_at = std::min(cmd_at,
+                                  std::max(now + 1, bank.blockedUntil));
+        }
+    }
+
+    // Demand scheduling on both queues (drain-mode hysteresis only picks
+    // the order; considering both directions is a safe lower bound).
+    cmd_at = std::min(cmd_at, demandEventCycle(readQ, true, now));
+    cmd_at = std::min(cmd_at, demandEventCycle(writeQ, false, now));
+
+    // Every command waits for the command-bus slot; completions do not.
+    if (cmd_at != kNeverCycle)
+        cmd_at = std::max(cmd_at, nextCommandAt);
+
+    Cycle at = std::min(completion_at, cmd_at);
+    return std::max(at, now + 1);
 }
 
 } // namespace bh

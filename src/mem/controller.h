@@ -11,6 +11,20 @@
  * prioritized per-bank maintenance operations; each one notifies the
  * attached action observer (BreakHammer) and the row-protection listener
  * (the RowHammer oracle in tests).
+ *
+ * Requests are indexed per bank: each queue keeps one age-ordered FIFO per
+ * flat bank plus a global enqueue sequence number, so the FR-FCFS scan
+ * touches only non-empty banks instead of walking the whole queue per
+ * candidate. Per bank, the scheduler caches the oldest row-hit and oldest
+ * row-conflict positions; the cache is invalidated only on enqueue, issue,
+ * or a row-state change of that bank. Selection order is provably
+ * identical to a linear oldest-first scan: within a bank the eligible
+ * candidate is unique, so picking the globally smallest sequence number
+ * among per-bank candidates reproduces the linear scan's choice.
+ *
+ * nextEventCycle() exposes a conservative lower bound on the next cycle
+ * tick() can do anything, which System::run's skip-ahead loop uses to jump
+ * over dead cycles.
  */
 #pragma once
 
@@ -47,6 +61,74 @@ struct McConfig
     unsigned refsPerSweep = 8192;
 };
 
+/** One queued request, stamped with its global enqueue order. */
+struct QueuedRequest
+{
+    Request req;
+    std::uint64_t seq = 0; ///< Smaller = older (FCFS age).
+};
+
+/**
+ * Age-ordered request queue indexed by flat bank. Each bank holds its
+ * requests in enqueue order; cross-bank age is compared via `seq`. The
+ * active-bank list lets the scheduler iterate only banks that hold work.
+ */
+class BankedRequestQueue
+{
+  public:
+    explicit BankedRequestQueue(unsigned num_banks)
+        : banks_(num_banks), activePos_(num_banks, -1)
+    {}
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const std::deque<QueuedRequest> &bank(unsigned fb) const
+    {
+        return banks_[fb];
+    }
+
+    /** Non-empty banks, unordered (candidates compare by seq anyway). */
+    const std::vector<unsigned> &activeBanks() const { return active_; }
+
+    void
+    push(const Request &req)
+    {
+        unsigned fb = req.flatBank;
+        if (banks_[fb].empty()) {
+            activePos_[fb] = static_cast<int>(active_.size());
+            active_.push_back(fb);
+        }
+        banks_[fb].push_back(QueuedRequest{req, nextSeq_++});
+        ++size_;
+    }
+
+    /** Remove the entry at @p pos of bank @p fb's FIFO. */
+    void
+    erase(unsigned fb, std::size_t pos)
+    {
+        std::deque<QueuedRequest> &fifo = banks_[fb];
+        fifo.erase(fifo.begin() + static_cast<long>(pos));
+        --size_;
+        if (fifo.empty()) {
+            // Swap-remove from the active list, patching the moved slot.
+            int slot = activePos_[fb];
+            unsigned moved = active_.back();
+            active_[static_cast<std::size_t>(slot)] = moved;
+            activePos_[moved] = slot;
+            active_.pop_back();
+            activePos_[fb] = -1;
+        }
+    }
+
+  private:
+    std::vector<std::deque<QueuedRequest>> banks_;
+    std::vector<unsigned> active_;
+    std::vector<int> activePos_; ///< Per bank: index into active_, or -1.
+    std::size_t size_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
 /** The memory controller for one channel. */
 class MemoryController : public IMitigationHost
 {
@@ -76,6 +158,26 @@ class MemoryController : public IMitigationHost
 
     /** Advance one CPU cycle. */
     void tick(Cycle now);
+
+    /**
+     * Lower bound > @p now on the next cycle tick() can do anything
+     * (complete a read, issue a command, start maintenance, or service a
+     * refresh), assuming no new requests arrive in between. Waking up
+     * earlier than the true next action is harmless (the tick is a no-op,
+     * exactly as a dense tick would be); waking later never happens.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Replay the tick-granular bookkeeping of the dead cycles
+     * [first, last] the skip-ahead loop jumped over: every such cycle
+     * with a free command slot would have re-evaluated the write-drain
+     * hysteresis, whose flag can oscillate with period 2 when the read
+     * queue is empty and the write queue sits at/below the low
+     * watermark — so its final state depends on how many evaluations
+     * ran, not just on the frozen queue sizes.
+     */
+    void accountSkippedCycles(Cycle first, Cycle last);
 
     /** Fires when read data is fully returned. */
     std::function<void(const Request &, Cycle)> onReadComplete;
@@ -141,28 +243,58 @@ class MemoryController : public IMitigationHost
         }
     };
 
+    static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+    /**
+     * Cached scan summary of one bank's FIFO against its current open
+     * row: the oldest row-hit and oldest row-conflict positions. Valid
+     * only while the bank FIFO and the bank's row state are unchanged.
+     */
+    struct BankScan
+    {
+        bool valid = false;
+        std::size_t hitPos = kNoPos;  ///< Oldest entry, row == openRow.
+        std::size_t confPos = kNoPos; ///< Oldest entry, row != openRow.
+    };
+
     bool commandSlotFree(Cycle now) const { return now >= nextCommandAt; }
     void useCommandSlot(Cycle now) { nextCommandAt = now + config_.commandSpacing; }
 
+    bool stepDrainFlag(bool draining) const;
     void processCompletions(Cycle now);
     bool serviceRefresh(Cycle now);
     bool serviceMaintenance(Cycle now);
     bool serviceDemand(Cycle now);
-    bool tryIssueForQueue(std::deque<Request> &queue, bool is_read,
+    bool tryIssueForQueue(BankedRequestQueue &queue, bool is_read,
                           Cycle now);
+    void issueColumn(BankedRequestQueue &queue, bool is_read, unsigned fb,
+                     std::size_t pos, bool counts_against_cap, Cycle now);
     void issueDemandAct(const Request &req, Cycle now);
     bool rankHasRefreshPending(unsigned rank, Cycle now) const;
+
+    const BankScan &scanOf(bool is_read, unsigned fb) const;
+    void invalidateScan(bool is_read, unsigned fb);
+    void invalidateRowState(unsigned fb);
+    void invalidateRank(unsigned rank);
+    void invalidateAllRowState();
+
+    Cycle demandEventCycle(const BankedRequestQueue &queue, bool is_read,
+                           Cycle now) const;
 
     DramSpec spec_;
     const AddressMapper &mapper;
     McConfig config_;
     TimingEngine engine_;
 
-    std::deque<Request> readQ;
-    std::deque<Request> writeQ;
+    BankedRequestQueue readQ;
+    BankedRequestQueue writeQ;
+    /** Lazily refreshed scan caches, per flat bank (see scanOf()). */
+    mutable std::vector<BankScan> readScan;
+    mutable std::vector<BankScan> writeScan;
     bool drainingWrites = false;
 
     std::vector<std::deque<MaintOp>> maintQ; ///< Per flat bank.
+    std::size_t maintOpsPending_ = 0; ///< Total ops across maintQ.
 
     // Read completions in flight.
     std::vector<Request> pendingReads;

@@ -86,6 +86,8 @@ class BlockHammer : public IMitigation
     Cycle actReleaseCycle(unsigned flat_bank, unsigned row, ThreadId thread,
                           Cycle now) override;
 
+    bool delaysActs() const override { return true; }
+
     /** Attach the AttackThrottler's resource target (optional). */
     void setThrottleTarget(IThrottleTarget *t) { throttleTarget = t; }
 

@@ -128,6 +128,15 @@ class IMitigation
         return now;
     }
 
+    /**
+     * Whether actReleaseCycle() can return a cycle past @p now. The
+     * controller's indexed FR-FCFS scan only probes per-row release
+     * cycles (in strict request-age order, mirroring a linear scan) for
+     * mechanisms that actually delay ACTs; everything else resolves a
+     * closed bank's candidate to its oldest request without any probe.
+     */
+    virtual bool delaysActs() const { return false; }
+
     /** Attach the host before simulation starts. */
     void setHost(IMitigationHost *h) { host = h; }
 

@@ -1,5 +1,8 @@
 #include "sim/system.h"
 
+#include <algorithm>
+
+#include "common/env.h"
 #include "common/log.h"
 #include "mitigation/blockhammer.h"
 
@@ -9,6 +12,13 @@ namespace {
 
 /** MSHR key space for uncached requests (disjoint from line addresses). */
 constexpr Addr kUncachedKeyBase = 1ull << 63;
+
+/**
+ * Cadence of the idle-path BreakHammer rollWindows call in System::run.
+ * The skip-ahead wake-up for window boundaries rounds up to this same
+ * grid — the two sites must never drift apart.
+ */
+constexpr Cycle kRollPeriodMask = 0xfff;
 
 Addr
 lineOf(Addr addr)
@@ -86,6 +96,8 @@ System::System(const SystemConfig &config,
     // Each core slot owns a private row region so apps never share rows.
     unsigned region = config_.spec.org.rowsPerBank / (config_.numCores * 2);
     benignSlot.resize(config_.numCores);
+    rejectCountsQuota.resize(config_.numCores, false);
+    rejectTouchesLlc.resize(config_.numCores, false);
     for (unsigned i = 0; i < config_.numCores; ++i) {
         const WorkloadSlot &slot = slots[i];
         std::uint64_t seed = config_.seed * 0x10001 + i * 0x9e3779b9;
@@ -113,12 +125,18 @@ System::load(ThreadId thread, Addr addr, bool uncached, std::uint64_t token)
 {
     if (uncached) {
         if (!mshr.canAllocate(thread)) {
-            if (mshr.totalInflight() < mshr.fullQuota())
+            bool quota = mshr.totalInflight() < mshr.fullQuota();
+            if (quota)
                 mshr.noteQuotaRejection();
+            rejectCountsQuota[thread] = quota;
+            rejectTouchesLlc[thread] = false;
             return AccessOutcome::kRejected;
         }
-        if (!mc->canEnqueueRead())
+        if (!mc->canEnqueueRead()) {
+            rejectCountsQuota[thread] = false;
+            rejectTouchesLlc[thread] = false;
             return AccessOutcome::kRejected;
+        }
         Addr key = kUncachedKeyBase + uncachedKeyCounter++;
         mshr.allocate(key, thread, false);
         mshr.merge(key, MshrWaiter{thread, token, true}, false);
@@ -140,18 +158,26 @@ System::load(ThreadId thread, Addr addr, bool uncached, std::uint64_t token)
         if (config_.bluntThrottle &&
             mshr.inflightOf(thread) >= mshr.quota(thread)) {
             mshr.noteQuotaRejection();
+            rejectCountsQuota[thread] = true;
+            rejectTouchesLlc[thread] = true;
             return AccessOutcome::kRejected;
         }
         mshr.merge(line, MshrWaiter{thread, token, true}, false);
         return AccessOutcome::kQueued;
     }
     if (!mshr.canAllocate(thread)) {
-        if (mshr.totalInflight() < mshr.fullQuota())
+        bool quota = mshr.totalInflight() < mshr.fullQuota();
+        if (quota)
             mshr.noteQuotaRejection();
+        rejectCountsQuota[thread] = quota;
+        rejectTouchesLlc[thread] = true;
         return AccessOutcome::kRejected;
     }
-    if (!mc->canEnqueueRead() || !mc->canEnqueueWrite())
+    if (!mc->canEnqueueRead() || !mc->canEnqueueWrite()) {
+        rejectCountsQuota[thread] = false;
+        rejectTouchesLlc[thread] = true;
         return AccessOutcome::kRejected; // Room for a worst-case writeback.
+    }
 
     Llc::Victim victim;
     llc.allocate(line, false, &victim);
@@ -178,8 +204,11 @@ AccessOutcome
 System::store(ThreadId thread, Addr addr, bool uncached)
 {
     if (uncached) {
-        if (!mc->canEnqueueWrite())
+        if (!mc->canEnqueueWrite()) {
+            rejectCountsQuota[thread] = false;
+            rejectTouchesLlc[thread] = false;
             return AccessOutcome::kRejected;
+        }
         Request req;
         req.type = Request::Type::kWrite;
         req.addr = addr;
@@ -198,12 +227,18 @@ System::store(ThreadId thread, Addr addr, bool uncached)
         return AccessOutcome::kHit;
     }
     if (!mshr.canAllocate(thread)) {
-        if (mshr.totalInflight() < mshr.fullQuota())
+        bool quota = mshr.totalInflight() < mshr.fullQuota();
+        if (quota)
             mshr.noteQuotaRejection();
+        rejectCountsQuota[thread] = quota;
+        rejectTouchesLlc[thread] = true;
         return AccessOutcome::kRejected;
     }
-    if (!mc->canEnqueueRead() || !mc->canEnqueueWrite())
+    if (!mc->canEnqueueRead() || !mc->canEnqueueWrite()) {
+        rejectCountsQuota[thread] = false;
+        rejectTouchesLlc[thread] = true;
         return AccessOutcome::kRejected;
+    }
 
     Llc::Victim victim;
     llc.allocate(line, true, &victim);
@@ -228,6 +263,7 @@ System::store(ThreadId thread, Addr addr, bool uncached)
 void
 System::handleReadComplete(const Request &req, Cycle done_cycle)
 {
+    ++completedReads;
     if (req.thread < cores.size() && benignSlot[req.thread])
         latencyHist.record(cyclesToNs(done_cycle - req.enqueueCycle));
 
@@ -239,12 +275,74 @@ System::handleReadComplete(const Request &req, Cycle done_cycle)
         cores[w.thread]->completeLoad(w.token, done_cycle);
 }
 
+void
+System::fillRejectSnapshot(RejectSnapshot *snap) const
+{
+    snap->mshrInflight = mshr.totalInflight();
+    snap->readDepth = mc->readQueueDepth();
+    snap->writeDepth = mc->writeQueueDepth();
+    snap->readsServed = mc->readsServed();
+    snap->writesServed = mc->writesServed();
+    snap->completedReads = completedReads;
+    snap->quotaWrites = mshr.quotaWrites();
+    snap->quotas.clear();
+    snap->inflight.clear();
+    for (ThreadId t = 0; t < config_.numCores; ++t) {
+        snap->quotas.push_back(mshr.quota(t));
+        snap->inflight.push_back(mshr.inflightOf(t));
+    }
+}
+
+Cycle
+System::nextWakeCycle() const
+{
+    Cycle wake = mc->nextEventCycle(now);
+    for (const auto &core : cores)
+        wake = std::min(wake, core->nextEventCycle(now));
+    if (bh) {
+        // The dense loop only calls rollWindows at kRollPeriodMask+1
+        // marks, so the next effective boundary is the first such mark
+        // at or after the window end.
+        Cycle at = std::max(now + 1, bh->nextWindowBoundary());
+        at = (at + kRollPeriodMask) & ~kRollPeriodMask;
+        wake = std::min(wake, at);
+    }
+    return std::max(wake, now + 1);
+}
+
+void
+System::accountSkippedCycles(Cycle skipped)
+{
+    for (unsigned i = 0; i < cores.size(); ++i) {
+        if (!cores[i]->stalledOnReject())
+            continue;
+        cores[i]->addRejectStallCycles(skipped);
+        if (rejectCountsQuota[i])
+            mshr.addQuotaRejections(skipped);
+        if (rejectTouchesLlc[i])
+            llc.addMisses(skipped); // Each retry probes and misses.
+    }
+    mc->accountSkippedCycles(now + 1, now + skipped);
+}
+
 RunResult
 System::run(std::uint64_t benign_target, Cycle max_cycles)
 {
     for (auto &core : cores)
         if (core->benign())
             core->setTarget(benign_target);
+
+    // Reference mode: tick every cycle. The event-driven loop below must
+    // match it bit for bit (test_system_skip compares both). Mechanisms
+    // that delay ACTs (BlockHammer) roll their epoch state from inside
+    // the scheduler's per-row probes, which fire on dense ticks even when
+    // no command issues — skipping would shift those rolls, so such runs
+    // stay on the dense loop.
+    const bool dense = envFlag("BH_DENSE_TICK") ||
+                       (mitigation != nullptr && mitigation->delaysActs());
+
+    if (!dense)
+        fillRejectSnapshot(&prevSnap);
 
     now = 0;
     while (now < max_cycles) {
@@ -255,11 +353,44 @@ System::run(std::uint64_t benign_target, Cycle max_cycles)
                 all_done = false;
         }
         mc->tick(now);
-        if (bh && (now & 0xfff) == 0)
+        if (bh && (now & kRollPeriodMask) == 0)
             bh->rollWindows(now);
         if (all_done)
             break;
-        ++now;
+        Cycle next = now + 1;
+        if (!dense) {
+            // A tick with any memory-system activity can flip a
+            // reject-blocked core's retry outcome at the very next
+            // cycle, so that cycle must be simulated, not skipped. The
+            // snapshot's monotone counters make a comparison against an
+            // older snapshot sound: equality proves nothing happened in
+            // between.
+            bool retry_state_changed = false;
+            bool any_reject = false;
+            for (const auto &core : cores)
+                if (core->stalledOnReject()) {
+                    any_reject = true;
+                    break;
+                }
+            if (any_reject) {
+                fillRejectSnapshot(&curSnap);
+                if (!(curSnap == prevSnap)) {
+                    std::swap(curSnap, prevSnap);
+                    retry_state_changed = true;
+                }
+            }
+            if (!retry_state_changed) {
+                // Jump to the next cycle anything can happen. Every
+                // skipped cycle is a no-op tick for every component
+                // except the batched reject-stall accounting.
+                Cycle wake = std::min(nextWakeCycle(), max_cycles);
+                if (wake > next) {
+                    accountSkippedCycles(wake - next);
+                    next = wake;
+                }
+            }
+        }
+        now = next;
     }
 
     RunResult result;

@@ -118,6 +118,15 @@ class System : public ICoreMemory
     /**
      * Run until every benign core retired @p benign_target instructions
      * (or @p max_cycles elapse).
+     *
+     * The loop is event-driven: after ticking every component at the
+     * current cycle it computes the earliest cycle at which any of them
+     * can make progress (core retire, controller issue slot or
+     * completion, refresh deadline, BreakHammer window boundary) and
+     * jumps there, batching the stall accounting of reject-blocked cores
+     * across the skipped dead cycles. Setting BH_DENSE_TICK=1 in the
+     * environment selects the reference cycle-by-cycle loop instead; both
+     * produce bit-identical results (test_system_skip enforces this).
      */
     RunResult run(std::uint64_t benign_target, Cycle max_cycles);
 
@@ -133,6 +142,62 @@ class System : public ICoreMemory
   private:
     void handleReadComplete(const Request &req, Cycle done_cycle);
 
+    /** Earliest cycle > now at which any component can make progress. */
+    Cycle nextWakeCycle() const;
+
+    /**
+     * Everything a rejected access's retry outcome can depend on: MSHR
+     * occupancy (per thread — canAllocate() compares a thread's inflight
+     * count to its quota), queue depths, and quotas. While this is
+     * unchanged, reject-blocked cores repeat the identical rejection;
+     * whenever a tick changes it, the next cycle must be simulated so
+     * their retries re-evaluate (they might succeed).
+     *
+     * The monotone counters (completions, issues, quota writes) matter:
+     * a single tick can mutate state and restore the same values — e.g.
+     * enqueue + issue leaving the depth equal, or release +
+     * re-allocation leaving every inflight count equal while mshr.has()
+     * flipped for the retried line. A core rejected mid-tick may have
+     * observed the intermediate state, so only a tick with *no* such
+     * activity at all may be followed by skipped batched retries.
+     */
+    struct RejectSnapshot
+    {
+        unsigned mshrInflight = 0;
+        std::size_t readDepth = 0;
+        std::size_t writeDepth = 0;
+        std::uint64_t readsServed = 0;
+        std::uint64_t writesServed = 0;
+        std::uint64_t completedReads = 0;
+        std::uint64_t quotaWrites = 0;
+        std::vector<unsigned> quotas;
+        std::vector<unsigned> inflight;
+
+        bool
+        operator==(const RejectSnapshot &o) const
+        {
+            return mshrInflight == o.mshrInflight &&
+                   readDepth == o.readDepth && writeDepth == o.writeDepth &&
+                   readsServed == o.readsServed &&
+                   writesServed == o.writesServed &&
+                   completedReads == o.completedReads &&
+                   quotaWrites == o.quotaWrites &&
+                   quotas == o.quotas && inflight == o.inflight;
+        }
+    };
+
+    /** Fill @p snap in place (reuses its vectors' capacity). */
+    void fillRejectSnapshot(RejectSnapshot *snap) const;
+
+    /**
+     * Account the per-cycle side effects of @p skipped dead cycles: each
+     * reject-blocked core repeats one identical rejected retry per cycle
+     * (a reject-stall, plus a quota-rejection count when the rejection
+     * was quota-caused). All other component state is provably frozen
+     * across the skipped range.
+     */
+    void accountSkippedCycles(Cycle skipped);
+
     SystemConfig config_;
     AddressMapper mapper;
     std::unique_ptr<MemoryController> mc;
@@ -147,8 +212,26 @@ class System : public ICoreMemory
     std::vector<std::unique_ptr<Core>> cores;
     std::vector<bool> benignSlot;
 
+    /**
+     * Per thread: whether its most recent rejection counted as a quota
+     * rejection, and whether its retry path probes the LLC (cached
+     * accesses count one miss per retry). Set on every kRejected return.
+     * While the memory system is frozen, retries repeat the identical
+     * branch, so these flags let accountSkippedCycles() replay their
+     * stats without re-executing.
+     */
+    std::vector<bool> rejectCountsQuota;
+    std::vector<bool> rejectTouchesLlc;
+
     Histogram latencyHist{2.0, 4096};
     std::uint64_t uncachedKeyCounter = 0;
+    std::uint64_t completedReads = 0;
+
+    /** Persistent snapshot buffers for the skip loop (no per-tick
+     *  allocation; only filled while some core is reject-blocked). */
+    RejectSnapshot prevSnap;
+    RejectSnapshot curSnap;
+
     Cycle now = 0;
 };
 

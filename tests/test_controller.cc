@@ -248,6 +248,7 @@ TEST_F(ControllerFixture, MitigationActReleaseDelaysIssue)
             // Absolute release time, as BlockHammer computes it.
             return row == 5 ? std::max<Cycle>(now, 5000) : now;
         }
+        bool delaysActs() const override { return true; }
         unsigned acts = 0;
     } delayer;
 
