@@ -15,6 +15,9 @@ namespace {
 
 using namespace bh;
 
+constexpr unsigned kNrh = 512;
+constexpr MitigationType kMech = MitigationType::kGraphene;
+
 struct Variant
 {
     const char *name;
@@ -23,57 +26,51 @@ struct Variant
     bool blunt;
 };
 
-ExperimentConfig
-variantConfig(const MixSpec &mix, MitigationType mech, unsigned n_rh,
-              const Variant &v)
+constexpr Variant kVariants[] = {
+    {"paper (prop/2set/merge)", ScoreAttribution::kProportional, false,
+     false},
+    {"winner-takes-all", ScoreAttribution::kWinnerTakesAll, false, false},
+    {"single counter set", ScoreAttribution::kProportional, true, false},
+    {"blunt throttle", ScoreAttribution::kProportional, false, true},
+};
+
+/** The knob overrides shared by the sweep and the render lookups. */
+void
+applyVariant(ExperimentConfig &cfg, const Variant &v)
 {
-    ExperimentConfig cfg;
-    cfg.mix = mix;
-    cfg.mechanism = mech;
-    cfg.nRh = n_rh;
-    cfg.breakHammer = true;
     cfg.bh = scaledBreakHammerConfig(defaultInstructions());
     cfg.bh.attribution = v.attribution;
     cfg.bh.singleCounterSet = v.singleSet;
     cfg.bluntThrottle = v.blunt;
+}
+
+ExperimentConfig
+variantConfig(const MixSpec &mix, const Variant &v)
+{
+    ExperimentConfig cfg;
+    cfg.mix = mix;
+    cfg.mechanism = kMech;
+    cfg.nRh = kNrh;
+    cfg.breakHammer = true;
+    applyVariant(cfg, v);
     return cfg;
 }
 
 } // namespace
 
-BH_BENCH_FIGURE("ablation", "Ablations: BreakHammer design choices",
-                "DESIGN.md §4")
+BH_BENCH_SWEEP_FIGURE("ablation", "Ablations: BreakHammer design choices",
+                      "DESIGN.md §4")
 {
     using namespace bh::benchutil;
 
-    const unsigned n_rh = 512;
-    const MitigationType mech = MitigationType::kGraphene;
-
-    const Variant variants[] = {
-        {"paper (prop/2set/merge)", ScoreAttribution::kProportional, false,
-         false},
-        {"winner-takes-all", ScoreAttribution::kWinnerTakesAll, false,
-         false},
-        {"single counter set", ScoreAttribution::kProportional, true,
-         false},
-        {"blunt throttle", ScoreAttribution::kProportional, false, true},
-    };
-
-    std::vector<ExperimentConfig> grid;
-    for (const Variant &v : variants)
-        for (const std::string &pattern : attackMixPatterns())
-            grid.push_back(variantConfig(makeMix(pattern, 0), mech, n_rh,
-                                         v));
-    ctx.pool->prefetch(grid);
-
     std::printf("%-26s %10s %10s %12s\n", "variant", "WS(attack)",
                 "marks", "prev.actions");
-    for (const Variant &v : variants) {
+    for (const Variant &v : kVariants) {
         std::vector<double> ws;
         std::uint64_t marks = 0, actions = 0;
         for (const std::string &pattern : attackMixPatterns()) {
-            const ExperimentResult &r = ctx.pool->get(
-                variantConfig(makeMix(pattern, 0), mech, n_rh, v));
+            const ExperimentResult &r =
+                ctx.store->get(variantConfig(makeMix(pattern, 0), v));
             ws.push_back(r.weightedSpeedup);
             marks += r.raw.suspectMarks;
             actions += r.preventiveActions;
@@ -84,4 +81,18 @@ BH_BENCH_FIGURE("ablation", "Ablations: BreakHammer design choices",
     }
     std::printf("\n(Graphene at N_RH=512 across the attack mix classes; "
                 "WS is geomean weighted speedup of benign apps)\n");
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    SweepSpec spec("ablation");
+    spec.mixClasses(attackMixPatterns(), 1)
+        .nRh(kNrh)
+        .mechanism(kMech)
+        .breakHammer(true);
+    for (const Variant &v : kVariants)
+        spec.variant(v.name,
+                     [&v](ExperimentConfig &cfg) { applyVariant(cfg, v); });
+    return spec;
 }

@@ -6,9 +6,10 @@
  * scaled by BH_INSTS / BH_MIXES / BH_FULL (see sim/experiment.h). Results
  * are raw text tables so diffs against EXPERIMENTS.md stay reviewable.
  *
- * Experiment points route through the Context's shared ExperimentPool:
- * figures declare their full grid with prefetch() (simulated in parallel
- * at --jobs=N, deduped across figures), then render from the cache.
+ * Figures declare their grid as a SweepSpec (sim/sweep.h); the runner
+ * prefetches it through the Context's shared ResultStore (parallel at
+ * --jobs=N, deduped across figures, persisted with --store) before the
+ * render function runs, so point()/baseline() are cache reads.
  */
 #pragma once
 
@@ -71,15 +72,11 @@ pointConfig(const MixSpec &mix, MitigationType mech, unsigned n_rh,
     return cfg;
 }
 
-/**
- * Config of a mix's no-mitigation baseline. N_RH is irrelevant without a
- * mechanism; pinning it keeps the cache key (and thus the simulation)
- * shared by every figure that normalizes against the baseline.
- */
+/** Config of a mix's no-mitigation baseline (see SweepSpec). */
 inline ExperimentConfig
 baselineConfig(const MixSpec &mix)
 {
-    return pointConfig(mix, MitigationType::kNone, 1024, false);
+    return SweepSpec::baselinePoint(mix);
 }
 
 /** Cached result of one (mix, mechanism, N_RH, BH) point. */
@@ -87,14 +84,14 @@ inline const ExperimentResult &
 point(Context &ctx, const MixSpec &mix, MitigationType mech, unsigned n_rh,
       bool break_hammer)
 {
-    return ctx.pool->get(pointConfig(mix, mech, n_rh, break_hammer));
+    return ctx.store->get(pointConfig(mix, mech, n_rh, break_hammer));
 }
 
 /** Cached no-mitigation baseline of @p mix. */
 inline const ExperimentResult &
 baseline(Context &ctx, const MixSpec &mix)
 {
-    return ctx.pool->get(baselineConfig(mix));
+    return ctx.store->get(baselineConfig(mix));
 }
 
 } // namespace bh::benchutil

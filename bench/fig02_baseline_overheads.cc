@@ -7,36 +7,36 @@
  */
 #include "bench/bench_util.h"
 
-BH_BENCH_FIGURE("fig02", "Fig 2: baseline mitigation overheads (benign)",
-                "paper Fig 2 (§3)")
+namespace {
+
+const std::vector<bh::MitigationType> &
+mechanisms()
+{
+    static const std::vector<bh::MitigationType> mechs = {
+        bh::MitigationType::kHydra, bh::MitigationType::kRfm,
+        bh::MitigationType::kPara, bh::MitigationType::kAqua};
+    return mechs;
+}
+
+} // namespace
+
+BH_BENCH_SWEEP_FIGURE("fig02", "Fig 2: baseline mitigation overheads (benign)",
+                      "paper Fig 2 (§3)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    const std::vector<MitigationType> mechanisms = {
-        MitigationType::kHydra, MitigationType::kRfm,
-        MitigationType::kPara, MitigationType::kAqua};
-
     std::vector<MixSpec> mixes = benignMixes();
 
-    std::vector<ExperimentConfig> grid;
-    for (const MixSpec &mix : mixes) {
-        grid.push_back(baselineConfig(mix));
-        for (unsigned n_rh : nrhSweep())
-            for (MitigationType mech : mechanisms)
-                grid.push_back(pointConfig(mix, mech, n_rh, false));
-    }
-    ctx.pool->prefetch(grid);
-
     std::printf("%-8s", "NRH");
-    for (MitigationType m : mechanisms)
+    for (MitigationType m : mechanisms())
         std::printf(" %12s", mitigationName(m));
     std::printf("   (normalized weighted speedup, geomean over %zu mixes)\n",
                 mixes.size());
 
     for (unsigned n_rh : nrhSweep()) {
         std::printf("%-8u", n_rh);
-        for (MitigationType mech : mechanisms) {
+        for (MitigationType mech : mechanisms()) {
             std::vector<double> normalized;
             for (const MixSpec &mix : mixes) {
                 double base = baseline(ctx, mix).weightedSpeedup;
@@ -48,4 +48,16 @@ BH_BENCH_FIGURE("fig02", "Fig 2: baseline mitigation overheads (benign)",
         }
         std::printf("\n");
     }
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+    return SweepSpec("fig02")
+        .mixes(benignMixes())
+        .withBaselines()
+        .nRhValues(nrhSweep())
+        .mechanisms(mechanisms());
 }

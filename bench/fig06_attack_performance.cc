@@ -9,23 +9,14 @@
 
 #include "bench/bench_util.h"
 
-BH_BENCH_FIGURE("fig06",
-                "Fig 6: benign performance under attack, N_RH=1K, +BH vs base",
-                "paper Fig 6 (§8.1)")
+BH_BENCH_SWEEP_FIGURE("fig06",
+                      "Fig 6: benign performance under attack, N_RH=1K, +BH vs base",
+                      "paper Fig 6 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
     const unsigned n_rh = 1024;
-
-    std::vector<ExperimentConfig> grid;
-    for (const std::string &pattern : attackMixPatterns())
-        for (unsigned i = 0; i < mixesPerClass(); ++i)
-            for (MitigationType mech : pairedMitigations())
-                for (bool bh_on : {false, true})
-                    grid.push_back(pointConfig(makeMix(pattern, i), mech,
-                                               n_rh, bh_on));
-    ctx.pool->prefetch(grid);
 
     std::printf("%-12s", "mix");
     for (MitigationType m : pairedMitigations())
@@ -62,4 +53,16 @@ BH_BENCH_FIGURE("fig06",
     std::printf("\n\noverall geomean: %.3f (paper: +84.6%% average "
                 "improvement)\n",
                 geomean(overall));
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+    return SweepSpec("fig06")
+        .mixes(attackMixes())
+        .nRh(1024)
+        .mechanisms(pairedMitigations())
+        .breakHammerAxis();
 }

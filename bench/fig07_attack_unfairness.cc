@@ -7,23 +7,14 @@
  */
 #include "bench/bench_util.h"
 
-BH_BENCH_FIGURE("fig07",
-                "Fig 7: unfairness under attack, N_RH=1K, +BH vs base",
-                "paper Fig 7 (§8.1)")
+BH_BENCH_SWEEP_FIGURE("fig07",
+                      "Fig 7: unfairness under attack, N_RH=1K, +BH vs base",
+                      "paper Fig 7 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
     const unsigned n_rh = 1024;
-
-    std::vector<ExperimentConfig> grid;
-    for (const std::string &pattern : attackMixPatterns())
-        for (unsigned i = 0; i < mixesPerClass(); ++i)
-            for (MitigationType mech : pairedMitigations())
-                for (bool bh_on : {false, true})
-                    grid.push_back(pointConfig(makeMix(pattern, i), mech,
-                                               n_rh, bh_on));
-    ctx.pool->prefetch(grid);
 
     std::printf("%-12s", "mix");
     for (MitigationType m : pairedMitigations())
@@ -51,4 +42,16 @@ BH_BENCH_FIGURE("fig07",
     }
     std::printf("\noverall geomean: %.3f (paper: -45.8%% average)\n",
                 geomean(overall));
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+    return SweepSpec("fig07")
+        .mixes(attackMixes())
+        .nRh(1024)
+        .mechanisms(pairedMitigations())
+        .breakHammerAxis();
 }

@@ -7,24 +7,14 @@
  */
 #include "bench/bench_util.h"
 
-BH_BENCH_FIGURE("fig09",
-                "Fig 9: unfairness scaling vs N_RH, attacker present",
-                "paper Fig 9 (§8.1)")
+BH_BENCH_SWEEP_FIGURE("fig09",
+                      "Fig 9: unfairness scaling vs N_RH, attacker present",
+                      "paper Fig 9 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
     std::vector<MixSpec> mixes = attackMixes();
-
-    std::vector<ExperimentConfig> grid;
-    for (const MixSpec &mix : mixes) {
-        grid.push_back(baselineConfig(mix));
-        for (unsigned n_rh : nrhSweep())
-            for (MitigationType mech : pairedMitigations())
-                for (bool bh_on : {false, true})
-                    grid.push_back(pointConfig(mix, mech, n_rh, bh_on));
-    }
-    ctx.pool->prefetch(grid);
 
     std::printf("%-8s", "NRH");
     for (MitigationType m : pairedMitigations()) {
@@ -53,4 +43,17 @@ BH_BENCH_FIGURE("fig09",
     }
     std::printf("\n(columns: mechanism without / with BreakHammer, "
                 "normalized max slowdown vs no-mitigation)\n");
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+    return SweepSpec("fig09")
+        .mixes(attackMixes())
+        .withBaselines()
+        .nRhValues(nrhSweep())
+        .mechanisms(pairedMitigations())
+        .breakHammerAxis();
 }

@@ -7,37 +7,38 @@
  */
 #include "bench/bench_util.h"
 
-BH_BENCH_FIGURE("fig10",
-                "Fig 10: preventive actions vs N_RH, attacker present",
-                "paper Fig 10 (§8.1)")
+namespace {
+
+std::vector<bh::MitigationType>
+mechanisms()
+{
+    std::vector<bh::MitigationType> mechs;
+    for (bh::MitigationType m : bh::pairedMitigations())
+        if (m != bh::MitigationType::kRega)
+            mechs.push_back(m);
+    return mechs;
+}
+
+} // namespace
+
+BH_BENCH_SWEEP_FIGURE("fig10",
+                      "Fig 10: preventive actions vs N_RH, attacker present",
+                      "paper Fig 10 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    std::vector<MitigationType> mechanisms;
-    for (MitigationType m : pairedMitigations())
-        if (m != MitigationType::kRega)
-            mechanisms.push_back(m);
-
     std::vector<MixSpec> mixes = attackMixes();
 
-    std::vector<ExperimentConfig> grid;
-    for (const MixSpec &mix : mixes)
-        for (unsigned n_rh : nrhSweep())
-            for (MitigationType mech : mechanisms)
-                for (bool bh_on : {false, true})
-                    grid.push_back(pointConfig(mix, mech, n_rh, bh_on));
-    ctx.pool->prefetch(grid);
-
     std::printf("%-8s", "NRH");
-    for (MitigationType m : mechanisms)
+    for (MitigationType m : mechanisms())
         std::printf(" %10s %10s", mitigationName(m), "+BH");
     std::printf("\n");
 
     std::vector<double> reductions;
     for (unsigned n_rh : nrhSweep()) {
         std::printf("%-8u", n_rh);
-        for (MitigationType mech : mechanisms) {
+        for (MitigationType mech : mechanisms()) {
             double base_sum = 0, paired_sum = 0;
             for (const MixSpec &mix : mixes) {
                 base_sum += static_cast<double>(
@@ -56,4 +57,16 @@ BH_BENCH_FIGURE("fig10",
     std::printf("\n(mean preventive actions per mix; paper reports -71.6%% "
                 "average with BH)\n");
     std::printf("measured mean ratio +BH/base: %.3f\n", mean(reductions));
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+    return SweepSpec("fig10")
+        .mixes(attackMixes())
+        .nRhValues(nrhSweep())
+        .mechanisms(mechanisms())
+        .breakHammerAxis();
 }

@@ -7,9 +7,9 @@
  */
 #include "bench/bench_util.h"
 
-BH_BENCH_FIGURE("fig11",
-                "Fig 11: benign memory latency percentiles, N_RH=64, attacker",
-                "paper Fig 11 (§8.1)")
+BH_BENCH_SWEEP_FIGURE("fig11",
+                      "Fig 11: benign memory latency percentiles, N_RH=64, attacker",
+                      "paper Fig 11 (§8.1)")
 {
     using namespace bh;
     using namespace bh::benchutil;
@@ -17,13 +17,6 @@ BH_BENCH_FIGURE("fig11",
     const unsigned n_rh = 64;
     MixSpec mix = makeMix("HHMA", 0);
     const double pcts[] = {50, 90, 99, 99.9};
-
-    std::vector<ExperimentConfig> grid;
-    grid.push_back(baselineConfig(mix));
-    for (MitigationType mech : pairedMitigations())
-        for (bool bh_on : {false, true})
-            grid.push_back(pointConfig(mix, mech, n_rh, bh_on));
-    ctx.pool->prefetch(grid);
 
     const ExperimentResult &nodef = baseline(ctx, mix);
 
@@ -45,4 +38,16 @@ BH_BENCH_FIGURE("fig11",
         print_row(std::string(mitigationName(mech)) + "+BH",
                   paired.raw.benignReadLatencyNs);
     }
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    using namespace bh;
+    return SweepSpec("fig11")
+        .mix(makeMix("HHMA", 0))
+        .withBaselines()
+        .nRh(64)
+        .mechanisms(pairedMitigations())
+        .breakHammerAxis();
 }

@@ -10,28 +10,12 @@
  */
 #include "bench/bench_util.h"
 
-BH_BENCH_FIGURE("fig13_16",
-                "Figs 13-16: BreakHammer with no attacker present",
-                "paper Figs 13, 14, 15, 16 (§8.2)")
+BH_BENCH_SWEEP_FIGURE("fig13_16",
+                      "Figs 13-16: BreakHammer with no attacker present",
+                      "paper Figs 13, 14, 15, 16 (§8.2)")
 {
     using namespace bh;
     using namespace bh::benchutil;
-
-    std::vector<ExperimentConfig> grid;
-    for (const std::string &pattern : benignMixPatterns()) {
-        for (unsigned i = 0; i < mixesPerClass(); ++i)
-            for (unsigned n_rh : {64u, 1024u})
-                for (MitigationType mech : pairedMitigations())
-                    for (bool bh_on : {false, true})
-                        grid.push_back(pointConfig(makeMix(pattern, i),
-                                                   mech, n_rh, bh_on));
-        for (unsigned n_rh : nrhSweep())
-            for (MitigationType mech : pairedMitigations())
-                for (bool bh_on : {false, true})
-                    grid.push_back(pointConfig(makeMix(pattern, 0), mech,
-                                               n_rh, bh_on));
-    }
-    ctx.pool->prefetch(grid);
 
     // --- Figs 13 & 14: per mix class at fixed N_RH -------------------
     struct FixedPoint
@@ -100,4 +84,26 @@ BH_BENCH_FIGURE("fig13_16",
         }
         std::printf("\n");
     }
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    using namespace bh;
+    // Two differently-shaped sections: Figs 13/14 take every mix of each
+    // class at the two fixed thresholds; Figs 15/16 take the class's
+    // first mix across the full N_RH sweep.
+    SweepSpec per_class("fig13_16/fixed-nrh");
+    per_class.mixClasses(benignMixPatterns(), mixesPerClass())
+        .nRhValues({64, 1024})
+        .mechanisms(pairedMitigations())
+        .breakHammerAxis();
+
+    SweepSpec nrh_sweep("fig13_16/nrh-sweep");
+    nrh_sweep.mixClasses(benignMixPatterns(), 1)
+        .nRhValues(nrhSweep())
+        .mechanisms(pairedMitigations())
+        .breakHammerAxis();
+
+    return per_class.merge(nrh_sweep);
 }

@@ -5,9 +5,9 @@
  */
 #include "bench/bench_util.h"
 
-BH_BENCH_FIGURE("fig17",
-                "Fig 17: benign memory latency percentiles, N_RH=64, no attack",
-                "paper Fig 17 (§8.2)")
+BH_BENCH_SWEEP_FIGURE("fig17",
+                      "Fig 17: benign memory latency percentiles, N_RH=64, no attack",
+                      "paper Fig 17 (§8.2)")
 {
     using namespace bh;
     using namespace bh::benchutil;
@@ -15,13 +15,6 @@ BH_BENCH_FIGURE("fig17",
     const unsigned n_rh = 64;
     MixSpec mix = makeMix("HHMM", 0);
     const double pcts[] = {50, 90, 99, 99.9};
-
-    std::vector<ExperimentConfig> grid;
-    grid.push_back(baselineConfig(mix));
-    for (MitigationType mech : pairedMitigations())
-        for (bool bh_on : {false, true})
-            grid.push_back(pointConfig(mix, mech, n_rh, bh_on));
-    ctx.pool->prefetch(grid);
 
     const ExperimentResult &nodef = baseline(ctx, mix);
 
@@ -42,4 +35,16 @@ BH_BENCH_FIGURE("fig17",
         print_row(std::string(mitigationName(mech)) + "+BH",
                   paired.raw.benignReadLatencyNs);
     }
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    using namespace bh;
+    return SweepSpec("fig17")
+        .mix(makeMix("HHMM", 0))
+        .withBaselines()
+        .nRh(64)
+        .mechanisms(pairedMitigations())
+        .breakHammerAxis();
 }

@@ -8,25 +8,13 @@
  */
 #include "bench/bench_util.h"
 
-BH_BENCH_FIGURE("fig18", "Fig 18: BreakHammer pairings vs BlockHammer",
-                "paper Fig 18 (§8.3)")
+BH_BENCH_SWEEP_FIGURE("fig18", "Fig 18: BreakHammer pairings vs BlockHammer",
+                      "paper Fig 18 (§8.3)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
     std::vector<MixSpec> mixes = attackMixes();
-
-    std::vector<ExperimentConfig> grid;
-    for (const MixSpec &mix : mixes) {
-        grid.push_back(baselineConfig(mix));
-        for (unsigned n_rh : nrhSweep()) {
-            for (MitigationType mech : pairedMitigations())
-                grid.push_back(pointConfig(mix, mech, n_rh, true));
-            grid.push_back(pointConfig(mix, MitigationType::kBlockHammer,
-                                       n_rh, false));
-        }
-    }
-    ctx.pool->prefetch(grid);
 
     std::printf("%-8s", "NRH");
     for (MitigationType m : pairedMitigations())
@@ -57,4 +45,24 @@ BH_BENCH_FIGURE("fig18", "Fig 18: BreakHammer pairings vs BlockHammer",
     }
     std::printf("\n(normalized WS of benign apps vs no mitigation; paper: "
                 "BlockHammer falls from +78.6%% to -98%% as N_RH drops)\n");
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    using namespace bh;
+    using namespace bh::benchutil;
+    SweepSpec paired("fig18/paired");
+    paired.mixes(attackMixes())
+        .withBaselines()
+        .nRhValues(nrhSweep())
+        .mechanisms(pairedMitigations())
+        .breakHammer(true);
+
+    SweepSpec blockhammer("fig18/blockhammer");
+    blockhammer.mixes(attackMixes())
+        .nRhValues(nrhSweep())
+        .mechanism(MitigationType::kBlockHammer);
+
+    return paired.merge(blockhammer);
 }

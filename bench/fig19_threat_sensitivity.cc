@@ -13,6 +13,18 @@
 
 namespace {
 
+constexpr unsigned kNrhPoints[] = {4096, 512, 64};
+constexpr double kMultipliers[] = {1.0, 16.0, 128.0};
+
+/** The TH_threat override shared by the sweep and the render lookups. */
+void
+applyThreat(bh::ExperimentConfig &cfg, const bh::BreakHammerConfig &scaled,
+            double multiplier)
+{
+    cfg.bh = scaled;
+    cfg.bh.thThreat = scaled.thThreat * multiplier;
+}
+
 bh::ExperimentConfig
 threatConfig(const bh::MixSpec &mix, unsigned n_rh,
              const bh::BreakHammerConfig &scaled, double multiplier)
@@ -23,66 +35,52 @@ threatConfig(const bh::MixSpec &mix, unsigned n_rh,
     cfg.mechanism = MitigationType::kGraphene;
     cfg.nRh = n_rh;
     cfg.breakHammer = true;
-    cfg.bh = scaled;
-    cfg.bh.thThreat = scaled.thThreat * multiplier;
+    applyThreat(cfg, scaled, multiplier);
     return cfg;
 }
 
 } // namespace
 
-BH_BENCH_FIGURE("fig19", "Fig 19: sensitivity to TH_threat",
-                "paper Fig 19 (§8.4)")
+BH_BENCH_SWEEP_FIGURE("fig19", "Fig 19: sensitivity to TH_threat",
+                      "paper Fig 19 (§8.4)")
 {
     using namespace bh;
     using namespace bh::benchutil;
 
-    const unsigned nrh_points[] = {4096, 512, 64};
-    const double multipliers[] = {1.0, 16.0, 128.0};
-
     BreakHammerConfig scaled =
         scaledBreakHammerConfig(defaultInstructions());
-
-    std::vector<ExperimentConfig> grid;
-    for (bool attack : {true, false})
-        for (unsigned n_rh : nrh_points)
-            for (double mult : multipliers)
-                for (const std::string &pattern :
-                     attack ? attackMixPatterns() : benignMixPatterns())
-                    grid.push_back(threatConfig(makeMix(pattern, 0), n_rh,
-                                                scaled, mult));
-    ctx.pool->prefetch(grid);
 
     for (bool attack : {true, false}) {
         std::printf("-- %s --\n",
                     attack ? "RowHammer attack present"
                            : "no RowHammer attack");
         std::printf("%-10s", "THthreat");
-        for (unsigned n_rh : nrh_points)
+        for (unsigned n_rh : kNrhPoints)
             std::printf("  NRH=%-5u min/med/max      ", n_rh);
         std::printf("\n");
 
         // Reference: the largest TH_threat (effectively disabled).
         std::map<unsigned, std::vector<double>> reference;
-        for (unsigned n_rh : nrh_points) {
+        for (unsigned n_rh : kNrhPoints) {
             for (const std::string &pattern :
                  attack ? attackMixPatterns() : benignMixPatterns()) {
                 reference[n_rh].push_back(
-                    ctx.pool
+                    ctx.store
                         ->get(threatConfig(makeMix(pattern, 0), n_rh,
-                                           scaled, multipliers[2]))
+                                           scaled, kMultipliers[2]))
                         .weightedSpeedup);
             }
         }
 
-        for (double mult : multipliers) {
+        for (double mult : kMultipliers) {
             std::printf("%-10.0f", scaled.thThreat * mult);
-            for (unsigned n_rh : nrh_points) {
+            for (unsigned n_rh : kNrhPoints) {
                 std::vector<double> normalized;
                 unsigned idx = 0;
                 for (const std::string &pattern :
                      attack ? attackMixPatterns() : benignMixPatterns()) {
                     normalized.push_back(
-                        ctx.pool
+                        ctx.store
                             ->get(threatConfig(makeMix(pattern, 0), n_rh,
                                                scaled, mult))
                             .weightedSpeedup /
@@ -98,4 +96,27 @@ BH_BENCH_FIGURE("fig19", "Fig 19: sensitivity to TH_threat",
     }
     std::printf("(WS normalized to the largest TH_threat; paper: lower "
                 "TH_threat helps under attack, costs little without)\n");
+}
+
+static bh::SweepSpec
+bhBenchSweep()
+{
+    using namespace bh;
+    BreakHammerConfig scaled =
+        scaledBreakHammerConfig(defaultInstructions());
+
+    SweepSpec spec("fig19");
+    spec.mixClasses(attackMixPatterns(), 1)
+        .mixClasses(benignMixPatterns(), 1)
+        .nRhValues({kNrhPoints[0], kNrhPoints[1], kNrhPoints[2]})
+        .mechanism(MitigationType::kGraphene)
+        .breakHammer(true);
+    for (double mult : kMultipliers) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "thr-x%g", mult);
+        spec.variant(label, [scaled, mult](ExperimentConfig &cfg) {
+            applyThreat(cfg, scaled, mult);
+        });
+    }
+    return spec;
 }

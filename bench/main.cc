@@ -6,11 +6,19 @@
  *   bh_bench fig06 fig07            # named figures
  *   bh_bench all --jobs=8           # the full set, 8 worker threads
  *   bh_bench all --json=out.json    # export every experiment point
+ *   bh_bench all --store=results    # persist points; warm runs simulate 0
+ *   bh_bench all --store=s1 --shard=1/2   # compute this machine's half
  *
- * All figures share one memoizing ExperimentPool: grids prefetch in
- * parallel (--jobs) and points shared between figures simulate once. The
- * JSON export is sorted by canonical experiment key, so its bytes are
- * identical no matter how many jobs produced it.
+ * All figures declare their grids as SweepSpecs and share one
+ * content-addressed ResultStore: grids prefetch in parallel (--jobs),
+ * points shared between figures simulate once, and with --store they
+ * persist across processes — a fully warm run performs zero simulations
+ * and re-exports byte-identical JSON. With --shard=i/N only the points
+ * whose content address hashes to shard i are computed (rendering is
+ * skipped: tables need the whole grid); shard stores merge by
+ * concatenating their results.jsonl files. The JSON export is sorted by
+ * canonical experiment key, so its bytes are identical no matter how many
+ * jobs — or machines — produced it.
  */
 #include <chrono>
 #include <cstdio>
@@ -35,7 +43,12 @@ usage()
         "  --list        list registered figures and exit\n"
         "  --jobs=N      worker threads for experiment grids "
         "(default: hardware)\n"
-        "  --json=PATH   export every simulated point as JSON\n\n"
+        "  --json=PATH   export every simulated point as JSON\n"
+        "  --store=DIR   persistent result store: reuse cached points,\n"
+        "                append new ones (merge stores with cat)\n"
+        "  --shard=I/N   compute only shard I of N (1-based, by content\n"
+        "                address) and skip rendering; combine with "
+        "--store\n\n"
         "scale knobs (environment): BH_INSTS, BH_MIXES, BH_FULL\n");
 }
 
@@ -46,6 +59,28 @@ listFigures()
     for (const bh::bench::Figure &figure : bh::bench::figures())
         std::printf("%-12s %-52s %s\n", figure.name.c_str(),
                     figure.title.c_str(), figure.paperRef.c_str());
+}
+
+/**
+ * Parse a 1-based "I/N" shard spec. Rejects non-numeric parts, zero on
+ * either side (parsePositiveU64 is strict), and I > N.
+ */
+bool
+parseShardSpec(const char *text, unsigned *index, unsigned *count)
+{
+    const char *slash = std::strchr(text, '/');
+    if (slash == nullptr || slash == text || slash[1] == '\0')
+        return false;
+    std::string index_text(text, slash);
+    std::uint64_t i = 0, n = 0;
+    if (!bh::parsePositiveU64(index_text.c_str(), &i) ||
+        !bh::parsePositiveU64(slash + 1, &n))
+        return false;
+    if (i > n || n > 4096)
+        return false;
+    *index = static_cast<unsigned>(i);
+    *count = static_cast<unsigned>(n);
+    return true;
 }
 
 } // namespace
@@ -71,30 +106,64 @@ main(int argc, char **argv)
 
     unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
     std::string json_path;
+    std::string store_dir;
+    unsigned shard_index = 0, shard_count = 0;
     bool run_all = false;
     std::vector<std::string> names;
 
+    // Flags taking a value accept both --flag=VALUE and --flag VALUE.
+    auto flag_value = [&](const std::string &arg, const char *flag,
+                          int *i, const char **out) {
+        std::size_t len = std::strlen(flag);
+        if (arg.compare(0, len, flag) != 0)
+            return false;
+        if (arg.size() > len && arg[len] == '=') {
+            *out = argv[*i] + len + 1;
+            return true;
+        }
+        if (arg.size() == len && *i + 1 < argc) {
+            *out = argv[++*i];
+            return true;
+        }
+        return false;
+    };
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        const char *value = nullptr;
         if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
         } else if (arg == "--list") {
             listFigures();
             return 0;
-        } else if (arg.rfind("--jobs=", 0) == 0) {
+        } else if (flag_value(arg, "--jobs", &i, &value)) {
             std::uint64_t parsed = 0;
-            if (!parsePositiveU64(arg.c_str() + 7, &parsed) ||
-                parsed > 1024) {
+            if (!parsePositiveU64(value, &parsed) || parsed > 1024) {
                 std::fprintf(stderr,
                              "error: --jobs wants a positive integer "
                              "(1..1024), got \"%s\"\n",
-                             arg.c_str() + 7);
+                             value);
                 return 2;
             }
             jobs = static_cast<unsigned>(parsed);
-        } else if (arg.rfind("--json=", 0) == 0) {
-            json_path = arg.substr(7);
+        } else if (flag_value(arg, "--json", &i, &value)) {
+            json_path = value;
+        } else if (flag_value(arg, "--store", &i, &value)) {
+            store_dir = value;
+            if (store_dir.empty()) {
+                std::fprintf(stderr,
+                             "error: --store wants a directory path\n");
+                return 2;
+            }
+        } else if (flag_value(arg, "--shard", &i, &value)) {
+            if (!parseShardSpec(value, &shard_index, &shard_count)) {
+                std::fprintf(stderr,
+                             "error: --shard wants I/N with 1 <= I <= N "
+                             "<= 4096 (e.g. --shard=1/2), got \"%s\"\n",
+                             value);
+                return 2;
+            }
         } else if (arg == "all") {
             run_all = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -133,31 +202,72 @@ main(int argc, char **argv)
         return 2;
     }
 
-    ExperimentPool pool(jobs);
-    bench::Context ctx{&pool, jobs};
+    ResultStore store(jobs);
+    if (!store_dir.empty()) {
+        std::string error;
+        if (!store.open(store_dir, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    if (shard_count) {
+        store.setShard(shard_index, shard_count);
+        if (store_dir.empty() && json_path.empty())
+            std::fprintf(stderr,
+                         "note: --shard without --store or --json "
+                         "discards the computed points\n");
+    }
+    bench::Context ctx{&store, jobs};
 
     auto total_start = Clock::now();
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-        const bench::Figure &figure = selected[i];
-        if (i)
-            std::printf("\n");
-        benchutil::header(figure.title, figure.paperRef);
-        auto start = Clock::now();
-        figure.fn(ctx);
-        double secs =
-            std::chrono::duration<double>(Clock::now() - start).count();
-        std::printf("\n[%s: %.2f s, pool: %zu points]\n",
-                    figure.name.c_str(), secs, pool.size());
+    if (shard_count) {
+        // Shard mode: union every selected figure's declarative sweep,
+        // compute this shard's points, skip rendering (tables need the
+        // whole grid — render from a merged store instead).
+        std::vector<ExperimentConfig> grid;
+        for (const bench::Figure &figure : selected) {
+            if (!figure.sweep)
+                continue;
+            std::vector<ExperimentConfig> points =
+                figure.sweep().expand();
+            grid.insert(grid.end(), points.begin(), points.end());
+        }
+        std::printf("==== shard %u/%u: %zu grid point(s) across %zu "
+                    "figure(s) ====\n",
+                    shard_index, shard_count, grid.size(),
+                    selected.size());
+        store.prefetch(grid);
+    } else {
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            const bench::Figure &figure = selected[i];
+            if (i)
+                std::printf("\n");
+            benchutil::header(figure.title, figure.paperRef);
+            auto start = Clock::now();
+            if (figure.sweep)
+                store.prefetch(figure.sweep().expand());
+            figure.render(ctx);
+            double secs =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            std::printf("\n[%s: %.2f s, store: %zu points]\n",
+                        figure.name.c_str(), secs, store.size());
+        }
     }
     double total_secs =
         std::chrono::duration<double>(Clock::now() - total_start).count();
+    ResultStoreStats stats = store.stats();
     std::printf("\n==== done: %zu figure(s), %zu experiment point(s), "
                 "%.2f s, jobs=%u ====\n",
-                selected.size(), pool.size(), total_secs, jobs);
+                selected.size(), store.size(), total_secs, jobs);
+    std::printf("store: simulated=%zu solo_simulated=%zu hits=%zu "
+                "loaded=%zu shard_skipped=%zu\n",
+                stats.computed, stats.soloComputed, stats.hits,
+                stats.loaded, stats.shardSkipped);
 
     if (!json_path.empty()) {
         JsonValue doc = JsonValue::object();
-        doc.set("experiments", pool.toJson());
+        doc.set("experiments", store.toJson());
         std::FILE *f = std::fopen(json_path.c_str(), "w");
         if (!f) {
             std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -3,31 +3,40 @@
  * Figure registry for the unified bench runner.
  *
  * Every figure driver registers a name, a title, the paper reference it
- * reproduces, and a run function. The bh_bench binary looks figures up by
+ * reproduces, an optional declarative SweepSpec describing its experiment
+ * grid, and a render function. The bh_bench binary looks figures up by
  * name (`bh_bench fig06`), lists them (`--list`), or runs the whole set
- * (`bh_bench all`). Figures share one ExperimentPool, so experiment
- * points that several figures need (e.g. the attack-mix baselines used by
- * Figs 8, 9, 12, and 18) are simulated exactly once per process.
+ * (`bh_bench all`).
+ *
+ * The sweep/render split is what makes grids schedulable as data: the
+ * runner prefetches a figure's sweep through the shared ResultStore
+ * (parallel, deduped across figures, persisted with --store) before
+ * calling render, and in --shard mode it unions every selected figure's
+ * sweep, computes only this machine's shard, and skips rendering
+ * entirely. Figures without experiment grids (analytic models, config
+ * tables) register render only.
  */
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "sim/scheduler.h"
+#include "sim/result_store.h"
+#include "sim/sweep.h"
 
 namespace bh::bench {
 
-/** Shared state handed to every figure run. */
+/** Shared state handed to every figure render. */
 struct Context
 {
-    /** Memoizing experiment cache shared across figures. */
-    ExperimentPool *pool = nullptr;
+    /** Content-addressed result cache shared across figures. */
+    ResultStore *store = nullptr;
     /** Worker threads for grid prefetches. */
     unsigned jobs = 1;
 };
 
-using BenchFn = void (*)(Context &);
+using SweepFn = SweepSpec (*)();
+using RenderFn = void (*)(Context &);
 
 /** One registered figure driver. */
 struct Figure
@@ -35,7 +44,8 @@ struct Figure
     std::string name;     ///< CLI name, e.g. "fig06".
     std::string title;    ///< Human-readable headline.
     std::string paperRef; ///< e.g. "paper Fig 6 (§8.1)".
-    BenchFn fn = nullptr;
+    SweepFn sweep = nullptr;  ///< Experiment grid; null = no experiments.
+    RenderFn render = nullptr;
 };
 
 /** Register @p figure (called by static Registrar initializers). */
@@ -47,26 +57,47 @@ std::vector<Figure> figures();
 /** Look up a figure by CLI name; nullptr when unknown. */
 const Figure *findFigure(const std::string &name);
 
-/** Static-initialization helper behind BH_BENCH_FIGURE. */
+/** Static-initialization helper behind the registration macros. */
 struct Registrar
 {
     Registrar(const char *name, const char *title, const char *paper_ref,
-              BenchFn fn)
+              SweepFn sweep, RenderFn render)
     {
-        registerFigure(Figure{name, title, paper_ref, fn});
+        registerFigure(Figure{name, title, paper_ref, sweep, render});
     }
 };
 
 } // namespace bh::bench
 
 /**
- * Define and register a figure driver:
+ * Define and register a figure without an experiment grid (analytic
+ * models, config tables):
  *
- *   BH_BENCH_FIGURE("fig06", "Benign performance under attack",
- *                   "paper Fig 6 (§8.1)") { ... use ctx ... }
+ *   BH_BENCH_FIGURE("fig05", "Security bound", "paper Fig 5") { ... }
  */
-#define BH_BENCH_FIGURE(name, title, ref)                                     \
-    static void bhBenchRun(::bh::bench::Context &ctx);                        \
-    static ::bh::bench::Registrar bhBenchRegistrar{name, title, ref,          \
-                                                   &bhBenchRun};              \
+#define BH_BENCH_FIGURE(name, title, ref)                                      \
+    static void bhBenchRun(::bh::bench::Context &ctx);                         \
+    static ::bh::bench::Registrar bhBenchRegistrar{name, title, ref,           \
+                                                   nullptr, &bhBenchRun};      \
+    static void bhBenchRun([[maybe_unused]] ::bh::bench::Context &ctx)
+
+/**
+ * Define and register a figure with a declarative experiment sweep. The
+ * macro introduces the render body; the file must also define the
+ * forward-declared sweep function:
+ *
+ *   BH_BENCH_SWEEP_FIGURE("fig06", "Benign performance under attack",
+ *                         "paper Fig 6 (§8.1)") { ... render from ctx ... }
+ *
+ *   static bh::SweepSpec
+ *   bhBenchSweep()
+ *   {
+ *       return bh::SweepSpec("fig06")...;
+ *   }
+ */
+#define BH_BENCH_SWEEP_FIGURE(name, title, ref)                                \
+    static ::bh::SweepSpec bhBenchSweep();                                     \
+    static void bhBenchRun(::bh::bench::Context &ctx);                         \
+    static ::bh::bench::Registrar bhBenchRegistrar{                            \
+        name, title, ref, &bhBenchSweep, &bhBenchRun};                         \
     static void bhBenchRun([[maybe_unused]] ::bh::bench::Context &ctx)

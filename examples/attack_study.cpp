@@ -5,53 +5,42 @@
  * BreakHammer's detection respond — scores, suspect marks, quota, and the
  * benign applications' recovered performance.
  *
- * Demonstrates: direct System construction, custom AttackerConfig, and the
- * BreakHammer introspection API (the §4 "feedback to system software").
- * This deliberately stays on the low-level System API rather than the
- * ExperimentScheduler: the introspection readouts live on the System
- * object, which runExperiment() does not expose.
+ * Demonstrates: declaring the attacker-shape grid as a SweepSpec variant
+ * axis over custom mixes, running it through a ResultStore (every point
+ * simulates once, in parallel, and could be persisted with open()), and
+ * reading the BreakHammer introspection that ExperimentResult now carries
+ * (the §4 "feedback to system software": per-thread final scores and
+ * quotas, quota rejection counts).
  */
 #include <cstdio>
 
-#include "sim/experiment.h"
-#include "sim/system.h"
+#include "sim/result_store.h"
+#include "sim/sweep.h"
 
 namespace {
 
 using namespace bh;
 
-void
-runCase(unsigned aggressors, unsigned banks)
+constexpr std::uint64_t kInsts = 80000;
+
+/** A 3-benign + 1-attacker mix with the given attack shape. */
+MixSpec
+attackMix(unsigned aggressors, unsigned banks)
 {
-    const std::uint64_t insts = 80000;
-
-    SystemConfig cfg;
-    cfg.mitigation = MitigationType::kGraphene;
-    cfg.nRh = 512;
-    cfg.breakHammer = true;
-    cfg.bh = scaledBreakHammerConfig(insts);
-
-    std::vector<WorkloadSlot> slots(4);
-    slots[0].appName = "mcf_like";
-    slots[1].appName = "zeusmp_like";
-    slots[2].appName = "tpcc_like";
-    slots[3].kind = WorkloadSlot::Kind::kAttacker;
-    slots[3].attacker.numAggressors = aggressors;
-    slots[3].attacker.numBanks = banks;
-
-    System sys(cfg, slots);
-    RunResult r = sys.run(insts, insts * 150);
-
-    double benign_ipc = 0;
-    for (int i = 0; i < 3; ++i)
-        benign_ipc += r.cores[i].ipc;
-
-    const BreakHammer *bh = sys.breakHammer();
-    std::printf("%9u %6u %12llu %10.3f %10.2f %8u %12llu\n", aggressors,
-                banks,
-                static_cast<unsigned long long>(r.preventiveActions),
-                benign_ipc, bh->score(3), bh->quota(3),
-                static_cast<unsigned long long>(r.quotaRejections));
+    MixSpec mix;
+    char name[48];
+    std::snprintf(name, sizeof(name), "atkstudy-r%u-b%u", aggressors,
+                  banks);
+    mix.name = name;
+    mix.pattern = "HHMA";
+    mix.slots.resize(4);
+    mix.slots[0].appName = "mcf_like";
+    mix.slots[1].appName = "zeusmp_like";
+    mix.slots[2].appName = "tpcc_like";
+    mix.slots[3].kind = WorkloadSlot::Kind::kAttacker;
+    mix.slots[3].attacker.numAggressors = aggressors;
+    mix.slots[3].attacker.numBanks = banks;
+    return mix;
 }
 
 } // namespace
@@ -61,12 +50,40 @@ main()
 {
     std::printf("Attack aggressiveness study (Graphene+BreakHammer, "
                 "N_RH=512)\n\n");
+
+    SweepSpec spec("attack-study");
+    for (unsigned aggressors : {2u, 4u, 8u})
+        for (unsigned banks : {2u, 8u, 32u})
+            spec.mix(attackMix(aggressors, banks));
+    spec.mechanism(MitigationType::kGraphene)
+        .nRh(512)
+        .breakHammer(true)
+        .instructions(kInsts)
+        .forEach([](ExperimentConfig &cfg) {
+            cfg.bh = scaledBreakHammerConfig(kInsts);
+        });
+
+    ResultStore store(2);
+    std::vector<ExperimentConfig> grid = spec.expand();
+    store.prefetch(grid);
+
     std::printf("%9s %6s %12s %10s %10s %8s %12s\n", "rows/bank", "banks",
                 "prev.actions", "benignIPC", "atk score", "quota",
                 "quota rejs");
-    for (unsigned aggressors : {2u, 4u, 8u})
-        for (unsigned banks : {2u, 8u, 32u})
-            runCase(aggressors, banks);
+    for (const ExperimentConfig &cfg : grid) {
+        const ExperimentResult &r = store.get(cfg);
+        double benign_ipc = 0;
+        for (double ipc : r.raw.benignIpcs())
+            benign_ipc += ipc;
+        const WorkloadSlot &attacker = cfg.mix.slots[3];
+        std::printf("%9u %6u %12llu %10.3f %10.2f %8u %12llu\n",
+                    attacker.attacker.numAggressors,
+                    attacker.attacker.numBanks,
+                    static_cast<unsigned long long>(r.preventiveActions),
+                    benign_ipc, r.raw.bhScores[3], r.raw.bhQuotas[3],
+                    static_cast<unsigned long long>(
+                        r.raw.quotaRejections));
+    }
 
     std::printf("\nReading the table: wider/denser hammering triggers more "
                 "preventive actions, drives the attacker's\nRowHammer-"

@@ -8,19 +8,43 @@
  *   2. Does the paired mechanism actually keep every row below N_RH under
  *      a live hammering workload? (Ground truth from the oracle.)
  *
- * Demonstrates: breakhammer/security_model.h and the oracle-enabled
- * System configuration.
+ * Demonstrates: breakhammer/security_model.h, and an oracle-enabled
+ * SweepSpec over a custom double-attacker mix run through a ResultStore —
+ * the oracle verdict (max per-row activation count, violation count) now
+ * rides ExperimentResult, so no direct System construction is needed.
  */
 #include <cstdio>
 
 #include "breakhammer/security_model.h"
-#include "sim/system.h"
+#include "sim/result_store.h"
+#include "sim/sweep.h"
+
+namespace {
+
+using namespace bh;
+
+/** A 2-benign + 2-attacker mix (the paper's multi-thread-attack shape). */
+MixSpec
+headroomMix()
+{
+    MixSpec mix;
+    mix.name = "headroom";
+    mix.pattern = "HHAA";
+    mix.slots.resize(4);
+    mix.slots[0].appName = "mcf_like";
+    mix.slots[1].appName = "lbm_like";
+    mix.slots[2].kind = WorkloadSlot::Kind::kAttacker;
+    mix.slots[2].attacker.numBanks = 4;
+    mix.slots[3].kind = WorkloadSlot::Kind::kAttacker;
+    mix.slots[3].attacker.numBanks = 4;
+    return mix;
+}
+
+} // namespace
 
 int
 main()
 {
-    using namespace bh;
-
     std::printf("1) Analytic bound (Expr 2): attacker thread share needed "
                 "to reach a score target undetected\n\n");
     std::printf("%-14s", "target ratio");
@@ -37,35 +61,33 @@ main()
 
     std::printf("\n2) Empirical check: oracle-verified max per-row "
                 "activation count under live hammering\n\n");
-    std::printf("%-12s %8s %12s %12s\n", "mechanism", "NRH",
-                "max count", "violations");
-    for (MitigationType mech :
-         {MitigationType::kGraphene, MitigationType::kRfm,
-          MitigationType::kPrac}) {
-        for (unsigned n_rh : {512u, 128u}) {
-            SystemConfig cfg;
-            cfg.mitigation = mech;
-            cfg.nRh = n_rh;
-            cfg.breakHammer = true;
+
+    SweepSpec spec("security-headroom");
+    spec.mix(headroomMix())
+        .mechanisms({MitigationType::kGraphene, MitigationType::kRfm,
+                     MitigationType::kPrac})
+        .nRhValues({512, 128})
+        .breakHammer(true)
+        .oracle(true)
+        .instructions(50000)
+        .forEach([](ExperimentConfig &cfg) {
             cfg.bh.window = 150000;
             cfg.bh.thThreat = 2.0;
-            cfg.enableOracle = true;
+        });
 
-            std::vector<WorkloadSlot> slots(4);
-            slots[0].appName = "mcf_like";
-            slots[1].appName = "lbm_like";
-            slots[2].kind = WorkloadSlot::Kind::kAttacker;
-            slots[2].attacker.numBanks = 4;
-            slots[3].kind = WorkloadSlot::Kind::kAttacker;
-            slots[3].attacker.numBanks = 4;
+    ResultStore store(2);
+    std::vector<ExperimentConfig> grid = spec.expand();
+    store.prefetch(grid);
 
-            System sys(cfg, slots);
-            RunResult r = sys.run(50000, 20000000);
-            std::printf("%-12s %8u %12u %12llu\n", mitigationName(mech),
-                        n_rh, r.oracleMaxCount,
-                        static_cast<unsigned long long>(
-                            r.oracleViolations));
-        }
+    std::printf("%-12s %8s %12s %12s\n", "mechanism", "NRH",
+                "max count", "violations");
+    for (const ExperimentConfig &cfg : grid) {
+        const ExperimentResult &r = store.get(cfg);
+        std::printf("%-12s %8u %12u %12llu\n",
+                    mitigationName(cfg.mechanism), cfg.nRh,
+                    r.raw.oracleMaxCount,
+                    static_cast<unsigned long long>(
+                        r.raw.oracleViolations));
     }
     std::printf("\nA mechanism is RowHammer-safe iff violations = 0 and "
                 "max count < N_RH — BreakHammer attached does not\nweaken "

@@ -6,9 +6,45 @@
 #include <utility>
 
 #include "common/env.h"
+#include "stats/json_stats.h"
 #include "stats/metrics.h"
 
 namespace bh {
+
+namespace {
+
+using SoloKey = std::pair<std::string, std::uint64_t>;
+
+std::mutex &
+soloMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::map<SoloKey, double> &
+soloCache()
+{
+    static std::map<SoloKey, double> cache;
+    return cache;
+}
+
+std::function<void(const std::string &, std::uint64_t, double)> &
+soloSink()
+{
+    static std::function<void(const std::string &, std::uint64_t, double)>
+        sink;
+    return sink;
+}
+
+const void *&
+soloSinkOwner()
+{
+    static const void *owner = nullptr;
+    return owner;
+}
+
+} // namespace
 
 std::uint64_t
 defaultInstructions()
@@ -54,12 +90,10 @@ scaledBreakHammerConfig(std::uint64_t instructions)
 double
 soloIpc(const std::string &app_name, std::uint64_t instructions)
 {
-    static std::map<std::pair<std::string, std::uint64_t>, double> cache;
-    static std::mutex mutex;
     {
-        std::lock_guard<std::mutex> lock(mutex);
-        auto it = cache.find({app_name, instructions});
-        if (it != cache.end())
+        std::lock_guard<std::mutex> lock(soloMutex());
+        auto it = soloCache().find({app_name, instructions});
+        if (it != soloCache().end())
             return it->second;
     }
 
@@ -74,39 +108,84 @@ soloIpc(const std::string &app_name, std::uint64_t instructions)
     RunResult result = system.run(instructions, instructions * 150);
     double ipc = result.cores[0].ipc;
 
-    std::lock_guard<std::mutex> lock(mutex);
-    cache[{app_name, instructions}] = ipc;
+    std::lock_guard<std::mutex> lock(soloMutex());
+    // Only the first computation fires the sink: if another worker won
+    // the race, its value is already cached (identical — the run is a
+    // pure function of (app, insts)) and already persisted.
+    if (soloCache().emplace(SoloKey{app_name, instructions}, ipc).second &&
+        soloSink())
+        soloSink()(app_name, instructions, ipc);
     return ipc;
+}
+
+void
+primeSoloIpc(const std::string &app_name, std::uint64_t instructions,
+             double ipc)
+{
+    std::lock_guard<std::mutex> lock(soloMutex());
+    soloCache().emplace(SoloKey{app_name, instructions}, ipc);
+}
+
+void
+setSoloIpcSink(std::function<void(const std::string &, std::uint64_t,
+                                  double)>
+                   sink,
+               const void *owner)
+{
+    std::lock_guard<std::mutex> lock(soloMutex());
+    soloSink() = std::move(sink);
+    soloSinkOwner() = owner;
+}
+
+void
+clearSoloIpcSink(const void *owner)
+{
+    std::lock_guard<std::mutex> lock(soloMutex());
+    if (soloSinkOwner() != owner)
+        return; // A later-opened store took over; leave its sink alone.
+    soloSink() = nullptr;
+    soloSinkOwner() = nullptr;
+}
+
+ExperimentConfig
+resolveExperimentConfig(const ExperimentConfig &config)
+{
+    ExperimentConfig resolved = config;
+    if (resolved.instructions == 0)
+        resolved.instructions = defaultInstructions();
+    if (resolved.bh.window == 0)
+        resolved.bh = scaledBreakHammerConfig(resolved.instructions);
+    return resolved;
 }
 
 ExperimentResult
 runExperiment(const ExperimentConfig &config)
 {
-    std::uint64_t insts =
-        config.instructions ? config.instructions : defaultInstructions();
+    ExperimentConfig cfg = resolveExperimentConfig(config);
+    std::uint64_t insts = cfg.instructions;
 
     SystemConfig sys;
-    sys.numCores = static_cast<unsigned>(config.mix.slots.size());
+    sys.numCores = static_cast<unsigned>(cfg.mix.slots.size());
     sys.spec = DramSpec::ddr5();
-    applyTimingSideEffects(config.mechanism, config.nRh, &sys.spec);
-    sys.mitigation = config.mechanism;
-    sys.nRh = config.nRh;
-    sys.breakHammer = config.breakHammer;
-    sys.bh = config.bh.window ? config.bh : scaledBreakHammerConfig(insts);
-    sys.enableOracle = config.oracle;
-    sys.bluntThrottle = config.bluntThrottle;
-    sys.seed = config.seed;
+    applyTimingSideEffects(cfg.mechanism, cfg.nRh, &sys.spec);
+    sys.mitigation = cfg.mechanism;
+    sys.nRh = cfg.nRh;
+    sys.breakHammer = cfg.breakHammer;
+    sys.bh = cfg.bh;
+    sys.enableOracle = cfg.oracle;
+    sys.bluntThrottle = cfg.bluntThrottle;
+    sys.seed = cfg.seed;
 
     // The cycle cap bounds pathological configurations (e.g., BlockHammer
     // at N_RH = 64); capped runs report progress IPC, which is the right
     // measure for a workload that cannot finish.
-    System system(sys, config.mix.slots);
+    System system(sys, cfg.mix.slots);
     ExperimentResult out;
     out.raw = system.run(insts, insts * 150);
 
     std::vector<double> shared = out.raw.benignIpcs();
     std::vector<double> alone;
-    for (const std::string &app : benignApps(config.mix))
+    for (const std::string &app : benignApps(cfg.mix))
         alone.push_back(soloIpc(app, insts));
 
     out.weightedSpeedup = weightedSpeedup(shared, alone);
@@ -182,10 +261,32 @@ experimentResultToJson(const ExperimentConfig &config,
     raw.set("suspect_marks", result.raw.suspectMarks);
     raw.set("quota_rejections", result.raw.quotaRejections);
     raw.set("hit_cycle_cap", result.raw.hitCycleCap);
-    JsonValue ipcs = JsonValue::array();
-    for (double ipc : result.raw.benignIpcs())
-        ipcs.push(ipc);
-    raw.set("benign_ipcs", std::move(ipcs));
+    raw.set("preventive_energy_nj", result.raw.preventiveEnergyNj);
+    raw.set("oracle_violations", result.raw.oracleViolations);
+    raw.set("oracle_max_count", result.raw.oracleMaxCount);
+
+    JsonValue cores = JsonValue::array();
+    for (const CoreResult &c : result.raw.cores) {
+        JsonValue core = JsonValue::object();
+        core.set("name", c.name);
+        core.set("benign", c.benign);
+        core.set("retired", c.retired);
+        core.set("finish_cycle", c.finishCycle);
+        core.set("ipc", c.ipc);
+        core.set("reject_stalls", c.rejectStalls);
+        cores.push(std::move(core));
+    }
+    raw.set("cores", std::move(cores));
+
+    JsonValue bh_scores = JsonValue::array();
+    for (double s : result.raw.bhScores)
+        bh_scores.push(s);
+    raw.set("bh_scores", std::move(bh_scores));
+    JsonValue bh_quotas = JsonValue::array();
+    for (unsigned q : result.raw.bhQuotas)
+        bh_quotas.push(q);
+    raw.set("bh_quotas", std::move(bh_quotas));
+
     const Histogram &lat = result.raw.benignReadLatencyNs;
     JsonValue latency = JsonValue::object();
     latency.set("count", lat.count());
@@ -195,9 +296,167 @@ experimentResultToJson(const ExperimentConfig &config,
     latency.set("p99", lat.percentile(99));
     latency.set("p999", lat.percentile(99.9));
     latency.set("max", lat.max());
+    latency.set("histogram", histogramToJson(lat));
     raw.set("benign_read_latency_ns", std::move(latency));
     out.set("raw", std::move(raw));
     return out;
+}
+
+namespace {
+
+/** Member @p key of @p obj iff it exists with type @p type, else null.
+ *  This is the store's corruption gate: every access in
+ *  experimentResultFromJson goes through it so a wrong-typed or
+ *  truncated payload reads as a cache miss, never a crash. */
+const JsonValue *
+typedMember(const JsonValue &obj, const char *key, JsonValue::Type type)
+{
+    if (!obj.isObject())
+        return nullptr;
+    const JsonValue *member = obj.find(key);
+    if (member == nullptr || member->type() != type)
+        return nullptr;
+    return member;
+}
+
+/** Validate the histogramToJson() shape before the (assert-happy)
+ *  histogramFromJson() parser touches it. */
+bool
+histogramJsonIsWellFormed(const JsonValue &v)
+{
+    // A generous ceiling on the bin vector a record may ask us to
+    // allocate (the simulator's histograms use 4096 bins): a corrupt
+    // num_bins must read as a cache miss, not throw bad_alloc.
+    constexpr std::uint64_t kMaxBins = 1u << 20;
+    const JsonValue *bin_width =
+        typedMember(v, "bin_width", JsonValue::Type::kNumber);
+    const JsonValue *num_bins =
+        typedMember(v, "num_bins", JsonValue::Type::kNumber);
+    const JsonValue *bins =
+        typedMember(v, "bins", JsonValue::Type::kArray);
+    if (bin_width == nullptr || bin_width->asDouble() <= 0.0 ||
+        num_bins == nullptr || num_bins->asDouble() < 0.0 ||
+        num_bins->asU64() > kMaxBins || bins == nullptr ||
+        typedMember(v, "sum", JsonValue::Type::kNumber) == nullptr ||
+        typedMember(v, "max", JsonValue::Type::kNumber) == nullptr)
+        return false;
+    for (std::size_t i = 0; i < bins->size(); ++i) {
+        const JsonValue &pair = bins->at(i);
+        if (!pair.isArray() || pair.size() != 2 ||
+            !pair.at(0).isNumber() || !pair.at(1).isNumber() ||
+            pair.at(0).asU64() > num_bins->asU64())
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+experimentResultFromJson(const JsonValue &v, ExperimentResult *out)
+{
+    // Everything is checked for presence AND type before use: a record
+    // from an older layout — or a same-version record damaged on disk —
+    // reports false and is treated as a cache miss, per the ResultStore
+    // "recompute, never misread" contract.
+    using Type = JsonValue::Type;
+    const JsonValue *ws = typedMember(v, "weighted_speedup", Type::kNumber);
+    const JsonValue *sd = typedMember(v, "max_slowdown", Type::kNumber);
+    const JsonValue *energy = typedMember(v, "energy_nj", Type::kNumber);
+    const JsonValue *prev =
+        typedMember(v, "preventive_actions", Type::kNumber);
+    const JsonValue *raw = typedMember(v, "raw", Type::kObject);
+    if (!ws || !sd || !energy || !prev || !raw)
+        return false;
+
+    const JsonValue *cycles = typedMember(*raw, "cycles", Type::kNumber);
+    const JsonValue *demand =
+        typedMember(*raw, "demand_acts", Type::kNumber);
+    const JsonValue *marks =
+        typedMember(*raw, "suspect_marks", Type::kNumber);
+    const JsonValue *rejections =
+        typedMember(*raw, "quota_rejections", Type::kNumber);
+    const JsonValue *capped =
+        typedMember(*raw, "hit_cycle_cap", Type::kBool);
+    const JsonValue *prev_energy =
+        typedMember(*raw, "preventive_energy_nj", Type::kNumber);
+    const JsonValue *violations =
+        typedMember(*raw, "oracle_violations", Type::kNumber);
+    const JsonValue *max_count =
+        typedMember(*raw, "oracle_max_count", Type::kNumber);
+    const JsonValue *cores = typedMember(*raw, "cores", Type::kArray);
+    const JsonValue *bh_scores =
+        typedMember(*raw, "bh_scores", Type::kArray);
+    const JsonValue *bh_quotas =
+        typedMember(*raw, "bh_quotas", Type::kArray);
+    const JsonValue *latency =
+        typedMember(*raw, "benign_read_latency_ns", Type::kObject);
+    if (!cycles || !demand || !marks || !rejections || !capped ||
+        !prev_energy || !violations || !max_count || !cores ||
+        !bh_scores || !bh_quotas || !latency)
+        return false;
+    const JsonValue *histogram =
+        typedMember(*latency, "histogram", Type::kObject);
+    if (histogram == nullptr || !histogramJsonIsWellFormed(*histogram))
+        return false;
+    for (std::size_t i = 0; i < bh_scores->size(); ++i)
+        if (!bh_scores->at(i).isNumber())
+            return false;
+    for (std::size_t i = 0; i < bh_quotas->size(); ++i)
+        if (!bh_quotas->at(i).isNumber())
+            return false;
+
+    ExperimentResult r;
+    r.weightedSpeedup = ws->asDouble();
+    r.maxSlowdown = sd->asDouble();
+    r.energyNj = energy->asDouble();
+    r.preventiveActions = prev->asU64();
+
+    r.raw.cycles = cycles->asU64();
+    r.raw.demandActs = demand->asU64();
+    r.raw.suspectMarks = marks->asU64();
+    r.raw.quotaRejections = rejections->asU64();
+    r.raw.hitCycleCap = capped->asBool();
+    r.raw.preventiveEnergyNj = prev_energy->asDouble();
+    r.raw.oracleViolations = violations->asU64();
+    r.raw.oracleMaxCount = static_cast<std::uint32_t>(max_count->asU64());
+    // The top-level metrics mirror their raw counterparts (runExperiment
+    // copies them out); restore both so direct RunResult readers agree.
+    r.raw.energyNj = r.energyNj;
+    r.raw.preventiveActions = r.preventiveActions;
+
+    for (std::size_t i = 0; i < cores->size(); ++i) {
+        const JsonValue &c = cores->at(i);
+        const JsonValue *name = typedMember(c, "name", Type::kString);
+        const JsonValue *benign = typedMember(c, "benign", Type::kBool);
+        const JsonValue *retired = typedMember(c, "retired", Type::kNumber);
+        const JsonValue *finish =
+            typedMember(c, "finish_cycle", Type::kNumber);
+        const JsonValue *ipc = typedMember(c, "ipc", Type::kNumber);
+        const JsonValue *stalls =
+            typedMember(c, "reject_stalls", Type::kNumber);
+        if (!name || !benign || !retired || !finish || !ipc || !stalls)
+            return false;
+        CoreResult core;
+        core.name = name->asString();
+        core.benign = benign->asBool();
+        core.retired = retired->asU64();
+        core.finishCycle = finish->asU64();
+        core.ipc = ipc->asDouble();
+        core.rejectStalls = stalls->asU64();
+        r.raw.cores.push_back(std::move(core));
+    }
+
+    for (std::size_t i = 0; i < bh_scores->size(); ++i)
+        r.raw.bhScores.push_back(bh_scores->at(i).asDouble());
+    for (std::size_t i = 0; i < bh_quotas->size(); ++i)
+        r.raw.bhQuotas.push_back(
+            static_cast<unsigned>(bh_quotas->at(i).asU64()));
+
+    r.raw.benignReadLatencyNs = histogramFromJson(*histogram);
+
+    *out = std::move(r);
+    return true;
 }
 
 } // namespace bh

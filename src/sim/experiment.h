@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -64,14 +65,57 @@ BreakHammerConfig scaledBreakHammerConfig(std::uint64_t instructions);
 /** Solo IPC of a catalog app (cached; no mitigation, core alone). */
 double soloIpc(const std::string &app_name, std::uint64_t instructions);
 
+/**
+ * Seed the shared solo-IPC cache with a known value (e.g. loaded from a
+ * persistent ResultStore) so soloIpc() returns it without simulating.
+ * A value already cached for (app, insts) is left untouched.
+ */
+void primeSoloIpc(const std::string &app_name, std::uint64_t instructions,
+                  double ipc);
+
+/**
+ * Install a sink invoked once per solo IPC that soloIpc() actually
+ * computes (primed and re-requested values never fire it). The
+ * ResultStore uses this to persist solo runs alongside experiment
+ * records. The sink may be called from any scheduler worker thread,
+ * serialized by the solo-cache lock; it must not call back into
+ * soloIpc(). There is one global sink: installing a new one replaces the
+ * previous (the most recently opened store wins). @p owner tags the
+ * installation so clearSoloIpcSink() can release it safely.
+ */
+void setSoloIpcSink(
+    std::function<void(const std::string &app, std::uint64_t insts,
+                       double ipc)>
+        sink,
+    const void *owner);
+
+/**
+ * Uninstall the solo-IPC sink, but only if @p owner still owns it — a
+ * store being destroyed must not clear a sink that a later-opened store
+ * has already replaced.
+ */
+void clearSoloIpcSink(const void *owner);
+
+/**
+ * @p config with its defaulted fields made explicit: instructions == 0
+ * resolves to defaultInstructions() (the BH_INSTS environment knob) and
+ * bh.window == 0 to scaledBreakHammerConfig() at that horizon — exactly
+ * the defaults runExperiment() applies, so running the resolved config is
+ * bit-identical to running the original. Persistent caching MUST key the
+ * resolved config: the unresolved form aliases every BH_INSTS scale to
+ * one content address, and a store consulted under a different
+ * environment would silently serve results from the wrong horizon.
+ */
+ExperimentConfig resolveExperimentConfig(const ExperimentConfig &config);
+
 /** Run one experiment point and compute its metrics. */
 ExperimentResult runExperiment(const ExperimentConfig &config);
 
 /**
  * Canonical identity of an experiment point: every field that influences
  * the simulation, rendered as a stable string. Two configs with equal keys
- * produce bit-identical results, so the key doubles as the memoization
- * key of ExperimentPool and the record key of the JSON export.
+ * produce bit-identical results, so the key doubles as the content
+ * address of the ResultStore and the record key of the JSON export.
  */
 std::string experimentKey(const ExperimentConfig &config);
 
@@ -83,8 +127,27 @@ std::string experimentKey(const ExperimentConfig &config);
 std::vector<std::pair<std::string, std::uint64_t>>
 soloDependencies(const std::vector<ExperimentConfig> &configs);
 
-/** One experiment (config identity + metrics + raw summary) as JSON. */
+/**
+ * One experiment (config identity + metrics + raw summary) as JSON. This
+ * is the durable schema of the persistent ResultStore: it carries the
+ * full benign-read-latency histogram (raw bins via stats/json_stats.h),
+ * per-core records (IPC, retire/finish, reject stalls), the preventive/
+ * demand ACT split, BreakHammer introspection (suspect marks, quota
+ * rejections, final per-thread scores and quotas), and the oracle
+ * verdict, so a stored record answers every query the figures and
+ * examples make without re-simulating.
+ */
 JsonValue experimentResultToJson(const ExperimentConfig &config,
                                  const ExperimentResult &result);
+
+/**
+ * Rebuild an ExperimentResult from experimentResultToJson() output. The
+ * round trip is exact: re-serializing the parsed result against the same
+ * config reproduces the original document byte for byte (doubles are
+ * dumped with 17 significant digits; the histogram round-trips raw bins).
+ * @return false when @p v is missing required fields (e.g. a record
+ *         written by an older schema), in which case @p out is untouched.
+ */
+bool experimentResultFromJson(const JsonValue &v, ExperimentResult *out);
 
 } // namespace bh

@@ -1,0 +1,323 @@
+#include "sim/result_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "sim/scheduler.h"
+
+namespace bh {
+
+namespace {
+
+constexpr const char *kResultsFile = "results.jsonl";
+
+} // namespace
+
+ResultStore::ResultStore(unsigned threads)
+    : threads(threads ? threads
+                      : std::max(1u, std::thread::hardware_concurrency()))
+{}
+
+ResultStore::~ResultStore()
+{
+    if (fd >= 0) {
+        // Only releases the sink if this store still owns it — a store
+        // opened later has already replaced it.
+        clearSoloIpcSink(this);
+        ::close(fd);
+    }
+}
+
+bool
+ResultStore::open(const std::string &dir, std::string *error)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        if (error)
+            *error = "cannot create store directory " + dir + ": " +
+                     ec.message();
+        return false;
+    }
+
+    std::string path = dir + "/" + kResultsFile;
+    loadFile(path);
+
+    // O_APPEND with each record written by one write() call: whole lines
+    // land contiguously even with concurrent appenders (on local
+    // filesystems), so the worst a crash mid-run leaves is one torn
+    // final line, which the loader skips. stdio buffering is avoided
+    // deliberately — a buffered stream flushes large records in chunks
+    // that could interleave between processes.
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = "cannot open " + path + " for append: " +
+                     std::strerror(errno);
+        return false;
+    }
+
+    setSoloIpcSink(
+        [this](const std::string &app, std::uint64_t insts, double ipc) {
+            JsonValue rec = JsonValue::object();
+            rec.set("v", kSchemaVersion);
+            rec.set("kind", "solo");
+            rec.set("app", app);
+            rec.set("insts", insts);
+            rec.set("ipc", ipc);
+            appendLine(rec.dump());
+            std::lock_guard<std::mutex> lock(mutex);
+            ++counters.soloComputed;
+        },
+        this);
+    return true;
+}
+
+void
+ResultStore::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return; // A fresh store: nothing on disk yet.
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        JsonValue rec;
+        std::string parse_error;
+        if (!JsonValue::parse(line, &rec, &parse_error) ||
+            !rec.isObject()) {
+            // Torn or malformed line (e.g. a crashed writer's tail):
+            // recompute its point rather than fail the whole store.
+            std::fprintf(stderr,
+                         "result store: skipping malformed line %zu of "
+                         "%s\n",
+                         line_no, path.c_str());
+            ++counters.skipped;
+            continue;
+        }
+        const JsonValue *version = rec.find("v");
+        const JsonValue *kind = rec.find("kind");
+        if (version == nullptr || !version->isNumber() ||
+            version->asU64() != kSchemaVersion || kind == nullptr ||
+            !kind->isString()) {
+            ++counters.skipped; // Other schema version: recompute.
+            continue;
+        }
+        if (kind->asString() == "experiment") {
+            const JsonValue *key = rec.find("key");
+            const JsonValue *payload = rec.find("payload");
+            if (key == nullptr || !key->isString() || payload == nullptr) {
+                ++counters.skipped;
+                continue;
+            }
+            // Keep the payload as its compact dump, not a parsed tree:
+            // a store can hold far more records than one run requests,
+            // and resolveFromDisk() re-parses only the requested ones.
+            if (diskPayloads.emplace(key->asString(), payload->dump())
+                    .second)
+                ++counters.loaded;
+        } else if (kind->asString() == "solo") {
+            const JsonValue *app = rec.find("app");
+            const JsonValue *insts = rec.find("insts");
+            const JsonValue *ipc = rec.find("ipc");
+            if (app == nullptr || insts == nullptr || ipc == nullptr) {
+                ++counters.skipped;
+                continue;
+            }
+            primeSoloIpc(app->asString(), insts->asU64(),
+                         ipc->asDouble());
+            ++counters.soloLoaded;
+        } else {
+            ++counters.skipped;
+        }
+    }
+}
+
+void
+ResultStore::appendLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    // After one failure the stream may sit mid-record (a short write has
+    // no trailing newline); appending more would fuse it with the next
+    // record into one malformed line. Stop persisting entirely — which
+    // is also what the warning promises.
+    if (fd < 0 || writeFailed)
+        return;
+    std::string record = line;
+    record.push_back('\n');
+    ssize_t written = ::write(fd, record.data(), record.size());
+    if (written != static_cast<ssize_t>(record.size())) {
+        // Warn once: a full disk mid-sweep must not silently drop every
+        // remaining record while the run reports success.
+        writeFailed = true;
+        std::fprintf(stderr,
+                     "result store: append failed (%s); further results "
+                     "of this run will NOT be persisted\n",
+                     written < 0 ? std::strerror(errno)
+                                 : "short write");
+    }
+}
+
+void
+ResultStore::appendExperiment(const ExperimentConfig &config,
+                              const ExperimentResult &result)
+{
+    if (fd < 0)
+        return;
+    JsonValue rec = JsonValue::object();
+    rec.set("v", kSchemaVersion);
+    rec.set("kind", "experiment");
+    rec.set("key", experimentKey(config));
+    rec.set("payload", experimentResultToJson(config, result));
+    appendLine(rec.dump());
+}
+
+void
+ResultStore::setShard(unsigned index, unsigned count)
+{
+    shardIndex = index;
+    shardCount = count;
+}
+
+unsigned
+ResultStore::shardOf(const std::string &key, unsigned count)
+{
+    // FNV-1a over the content address: stable across processes,
+    // machines, and figure orderings — the property that lets shards be
+    // assigned without any coordination.
+    std::uint64_t hash = 14695981039346656037ull;
+    for (unsigned char c : key) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    return count ? static_cast<unsigned>(hash % count) + 1 : 1;
+}
+
+const ResultStore::Entry *
+ResultStore::resolveFromDisk(const std::string &key,
+                             const ExperimentConfig &config)
+{
+    auto disk = diskPayloads.find(key);
+    if (disk == diskPayloads.end())
+        return nullptr;
+    JsonValue payload;
+    ExperimentResult parsed;
+    if (!JsonValue::parse(disk->second, &payload) ||
+        !experimentResultFromJson(payload, &parsed)) {
+        // Same version but unreadable payload: drop it and recompute.
+        diskPayloads.erase(disk);
+        ++counters.skipped;
+        return nullptr;
+    }
+    diskPayloads.erase(disk);
+    ++counters.hits;
+    return &cache.emplace(key, Entry{config, std::move(parsed)})
+                .first->second;
+}
+
+void
+ResultStore::prefetch(const std::vector<ExperimentConfig> &configs)
+{
+    std::vector<ExperimentConfig> missing;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        std::set<std::string> requested;
+        for (const ExperimentConfig &config : configs) {
+            // Content addresses are always over the RESOLVED config:
+            // keying a defaulted one would alias every BH_INSTS scale to
+            // the same record and serve wrong-horizon results.
+            ExperimentConfig resolved = resolveExperimentConfig(config);
+            std::string key = experimentKey(resolved);
+            if (cache.count(key) || !requested.insert(key).second)
+                continue;
+            if (resolveFromDisk(key, resolved) != nullptr)
+                continue;
+            if (shardCount &&
+                shardOf(key, shardCount) != shardIndex) {
+                ++counters.shardSkipped;
+                continue;
+            }
+            missing.push_back(std::move(resolved));
+        }
+    }
+    if (missing.empty())
+        return;
+
+    SchedulerOptions options;
+    options.threads = threads;
+    // Stream every finished point to disk as workers complete it, so an
+    // interrupted sweep resumes where it stopped instead of restarting.
+    options.onResult = [this](std::size_t, const ExperimentConfig &config,
+                              const ExperimentResult &result) {
+        appendExperiment(config, result);
+    };
+    ExperimentScheduler scheduler(options);
+    std::vector<ExperimentResult> results = scheduler.run(missing);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    counters.computed += missing.size();
+    for (std::size_t i = 0; i < missing.size(); ++i)
+        cache.emplace(experimentKey(missing[i]),
+                      Entry{missing[i], results[i]});
+}
+
+const ExperimentResult &
+ResultStore::get(const ExperimentConfig &config)
+{
+    ExperimentConfig resolved = resolveExperimentConfig(config);
+    std::string key = experimentKey(resolved);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second.result;
+        if (const Entry *entry = resolveFromDisk(key, resolved))
+            return entry->result;
+    }
+    ExperimentResult result = runExperiment(resolved);
+    appendExperiment(resolved, result);
+    std::lock_guard<std::mutex> lock(mutex);
+    ++counters.computed;
+    return cache.emplace(key, Entry{std::move(resolved), std::move(result)})
+        .first->second.result;
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return cache.size();
+}
+
+ResultStoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+JsonValue
+ResultStore::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    JsonValue arr = JsonValue::array();
+    for (const auto &entry : cache) // std::map: sorted by key already
+        arr.push(experimentResultToJson(entry.second.config,
+                                        entry.second.result));
+    return arr;
+}
+
+} // namespace bh

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Persistent, content-addressed experiment result store.
+ *
+ * Every experiment point is identified by experimentKey() — a stable
+ * string over every field that influences the simulation — and the
+ * simulator is deterministic, so a result computed once is valid forever
+ * (for a given schema version) in any process on any machine. The
+ * ResultStore exploits that: it is the memoizing cache the bench figures
+ * share (the role the in-memory ExperimentPool used to play), optionally
+ * backed by an append-only JSONL file so repeated `bh_bench` invocations
+ * reuse points across processes.
+ *
+ * Disk layout (one directory per store):
+ *
+ *   <dir>/results.jsonl — one record per line:
+ *     {"v":N,"kind":"experiment","key":"<experimentKey>","payload":{...}}
+ *     {"v":N,"kind":"solo","app":"<name>","insts":I,"ipc":X}
+ *
+ * The payload is experimentResultToJson() output, which round-trips
+ * exactly, so a warm run re-serializes byte-identical JSON without
+ * simulating anything. Records whose "v" differs from kSchemaVersion are
+ * skipped at load (a schema change triggers recompute, never
+ * corruption), as are torn or malformed lines. Appends write whole lines
+ * with a single O_APPEND-style write, so two stores can be merged by
+ * concatenating their results.jsonl files; duplicate keys are benign
+ * (first record wins — deterministic simulation makes them identical).
+ *
+ * Sharding: setShard(i, n) makes prefetch() compute only the points
+ * whose content address hashes to shard i of n (1-based), so a grid can
+ * be split across machines — each shard writes its own store, and the
+ * shards' files are merged by concatenation. Because every run is seeded
+ * from its config alone (the scheduler's deterministic per-index
+ * seeding), a sharded grid is bit-identical to an unsharded one.
+ *
+ * Solo-IPC runs (the weighted-speedup denominators) persist through the
+ * same file: open() primes the shared solo cache from "solo" records and
+ * installs a sink that appends each freshly computed solo IPC.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "stats/json.h"
+
+namespace bh {
+
+/** Counters describing how a store session resolved its requests. */
+struct ResultStoreStats
+{
+    std::size_t loaded = 0;      ///< Records parsed from disk at open().
+    std::size_t skipped = 0;     ///< Disk records ignored (version/corrupt).
+    std::size_t hits = 0;        ///< Requests served from a disk record.
+    std::size_t computed = 0;    ///< Requests that ran a simulation.
+    std::size_t shardSkipped = 0; ///< Prefetch points owned by other shards.
+    std::size_t soloLoaded = 0;  ///< Solo IPCs primed from disk.
+    std::size_t soloComputed = 0; ///< Solo IPCs simulated and appended.
+};
+
+/** Content-addressed experiment cache with optional JSONL persistence. */
+class ResultStore
+{
+  public:
+    /**
+     * Store format version. Bump when experimentResultToJson()'s schema
+     * or experimentKey()'s layout changes incompatibly; records written
+     * under any other version are recomputed, not misread.
+     */
+    static constexpr std::uint64_t kSchemaVersion = 1;
+
+    /** @param threads Worker threads for prefetch() grids. */
+    explicit ResultStore(unsigned threads = 1);
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * Attach @p dir (created if absent): load its results.jsonl, prime
+     * the solo-IPC cache from it, and append future misses to it.
+     * @return false (with @p error set) when the directory cannot be
+     *         created or the file cannot be opened for append.
+     */
+    bool open(const std::string &dir, std::string *error);
+
+    /** Whether a directory is attached (misses persist). */
+    bool persistent() const { return fd >= 0; }
+
+    /**
+     * Restrict prefetch() to shard @p index of @p count (1-based): only
+     * points with shardOf(key, count) == index are computed; the rest
+     * are skipped (unless already on disk, which still resolves). get()
+     * is unaffected — an explicit point request always computes.
+     */
+    void setShard(unsigned index, unsigned count);
+
+    /** Owning shard of @p key among @p count shards (1-based; FNV-1a). */
+    static unsigned shardOf(const std::string &key, unsigned count);
+
+    /**
+     * Resolve every config: disk hits are parsed into the cache, the
+     * rest (minus other shards' points) simulate in parallel on the
+     * ExperimentScheduler, streaming each finished record to disk.
+     */
+    void prefetch(const std::vector<ExperimentConfig> &configs);
+
+    /**
+     * Cached result of @p config; resolves from disk or computes inline
+     * (and persists) when absent.
+     */
+    const ExperimentResult &get(const ExperimentConfig &config);
+
+    /** Number of distinct points resolved (hit or computed) so far. */
+    std::size_t size() const;
+
+    /** Session counters (loads, hits, simulations, appends). */
+    ResultStoreStats stats() const;
+
+    /**
+     * Every resolved point as a JSON array sorted by content address —
+     * bit-identical across job counts, shard layouts, and warm/cold
+     * runs.
+     */
+    JsonValue toJson() const;
+
+    unsigned threadCount() const { return threads; }
+
+  private:
+    struct Entry
+    {
+        ExperimentConfig config;
+        ExperimentResult result;
+    };
+
+    /** Load results.jsonl (missing file is an empty store). */
+    void loadFile(const std::string &path);
+
+    /** Append one whole line with a single write() (thread-safe). */
+    void appendLine(const std::string &line);
+
+    void appendExperiment(const ExperimentConfig &config,
+                          const ExperimentResult &result);
+
+    /**
+     * Move a disk payload into the cache if one exists for @p key.
+     * Requires @p lock held; returns the entry or nullptr.
+     */
+    const Entry *resolveFromDisk(const std::string &key,
+                                 const ExperimentConfig &config);
+
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> cache;
+    /** Loaded but not-yet-requested records: key -> compact payload
+     *  dump, parsed lazily by resolveFromDisk(). */
+    std::map<std::string, std::string> diskPayloads;
+    ResultStoreStats counters;
+    int fd = -1;
+    bool writeFailed = false;
+    unsigned threads;
+    unsigned shardIndex = 0; ///< 0 = unsharded.
+    unsigned shardCount = 0;
+};
+
+} // namespace bh

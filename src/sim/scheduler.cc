@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
+#include <mutex>
 #include <thread>
 
 namespace bh {
@@ -146,74 +146,6 @@ ExperimentScheduler::run(const std::vector<ExperimentConfig> &configs)
         }
     });
     return results;
-}
-
-ExperimentPool::ExperimentPool(unsigned threads)
-    : threads(threads ? threads
-                      : std::max(1u, std::thread::hardware_concurrency()))
-{}
-
-void
-ExperimentPool::prefetch(const std::vector<ExperimentConfig> &configs)
-{
-    // Dedup against the cache and within the request itself.
-    std::vector<ExperimentConfig> missing;
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        std::set<std::string> requested;
-        for (const ExperimentConfig &config : configs) {
-            std::string key = experimentKey(config);
-            if (cache.count(key) || !requested.insert(key).second)
-                continue;
-            missing.push_back(config);
-        }
-    }
-    if (missing.empty())
-        return;
-
-    SchedulerOptions options;
-    options.threads = threads;
-    ExperimentScheduler scheduler(options);
-    std::vector<ExperimentResult> results = scheduler.run(missing);
-
-    std::lock_guard<std::mutex> lock(mutex);
-    for (std::size_t i = 0; i < missing.size(); ++i)
-        cache.emplace(experimentKey(missing[i]),
-                      Entry{missing[i], results[i]});
-}
-
-const ExperimentResult &
-ExperimentPool::get(const ExperimentConfig &config)
-{
-    std::string key = experimentKey(config);
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        auto it = cache.find(key);
-        if (it != cache.end())
-            return it->second.result;
-    }
-    ExperimentResult result = runExperiment(config);
-    std::lock_guard<std::mutex> lock(mutex);
-    return cache.emplace(key, Entry{config, std::move(result)})
-        .first->second.result;
-}
-
-std::size_t
-ExperimentPool::size() const
-{
-    std::lock_guard<std::mutex> lock(mutex);
-    return cache.size();
-}
-
-JsonValue
-ExperimentPool::toJson() const
-{
-    std::lock_guard<std::mutex> lock(mutex);
-    JsonValue arr = JsonValue::array();
-    for (const auto &entry : cache) // std::map: sorted by key already
-        arr.push(experimentResultToJson(entry.second.config,
-                                        entry.second.result));
-    return arr;
 }
 
 } // namespace bh

@@ -17,16 +17,14 @@
  *  - results land in a slot indexed by grid position, and the optional
  *    streaming sink orders its JSON export by that index.
  *
- * The ExperimentPool layers memoization on top: figures declare their
- * grid up front (prefetch), duplicated points across figures run once,
- * and renderers read cached results synchronously.
+ * Memoization across figures and processes lives one layer up, in the
+ * content-addressed ResultStore (sim/result_store.h), which feeds its
+ * misses through this scheduler.
  */
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -94,45 +92,6 @@ class ExperimentScheduler
 
   private:
     SchedulerOptions options;
-    unsigned threads;
-};
-
-/**
- * Memoizing experiment cache shared by the bench figures.
- *
- * prefetch() runs all not-yet-cached points through an
- * ExperimentScheduler; get() returns the cached result (running the
- * point inline on a miss). Keys are experimentKey() strings, so the
- * exported JSON — sorted by key — is bit-identical across job counts.
- */
-class ExperimentPool
-{
-  public:
-    explicit ExperimentPool(unsigned threads = 1);
-
-    /** Run (in parallel) every config not already cached. */
-    void prefetch(const std::vector<ExperimentConfig> &configs);
-
-    /** Cached result of @p config; computes inline when absent. */
-    const ExperimentResult &get(const ExperimentConfig &config);
-
-    /** Number of distinct points computed so far. */
-    std::size_t size() const;
-
-    /** Every cached point as a JSON array sorted by canonical key. */
-    JsonValue toJson() const;
-
-    unsigned threadCount() const { return threads; }
-
-  private:
-    struct Entry
-    {
-        ExperimentConfig config;
-        ExperimentResult result;
-    };
-
-    mutable std::mutex mutex;
-    std::map<std::string, Entry> cache;
     unsigned threads;
 };
 

@@ -403,6 +403,12 @@ System::run(std::uint64_t benign_target, Cycle max_cycles)
     result.demandActs = mc->demandActs();
     result.suspectMarks = bh ? bh->suspectMarks() : 0;
     result.quotaRejections = mshr.quotaRejections();
+    if (bh) {
+        for (unsigned t = 0; t < cores.size(); ++t) {
+            result.bhScores.push_back(bh->score(t));
+            result.bhQuotas.push_back(bh->quota(t));
+        }
+    }
     result.oracleViolations = oracle ? oracle->violations() : 0;
     result.oracleMaxCount = oracle ? oracle->maxCount() : 0;
     result.benignReadLatencyNs = latencyHist;

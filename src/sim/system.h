@@ -96,6 +96,14 @@ struct RunResult
     std::uint64_t quotaRejections = 0;
     std::uint64_t oracleViolations = 0;
     std::uint32_t oracleMaxCount = 0;
+    /**
+     * Final BreakHammer introspection, per thread (§4 "feedback to system
+     * software"): the active-set RowHammer-preventive score and the
+     * dynamic MSHR quota at the end of the run. Empty when BreakHammer is
+     * not attached.
+     */
+    std::vector<double> bhScores;
+    std::vector<unsigned> bhQuotas;
     Histogram benignReadLatencyNs{2.0, 4096};
     std::vector<RowCensus::WindowSummary> censusWindows;
     bool hitCycleCap = false;

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the persistent content-addressed ResultStore
+ * (sim/result_store.h): in-memory memoization (the old ExperimentPool
+ * contract), cross-process round-trips (write, reload in a fresh store,
+ * bit-identical JSON), schema-version mismatches triggering recompute
+ * rather than corruption, torn-line tolerance, shard-merge equivalence
+ * with an unsharded run, and solo-IPC persistence. "Cross-process" is
+ * modeled by destroying one store and opening another on the same
+ * directory — the disk file is the only state they share.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/result_store.h"
+#include "stats/json_stats.h"
+
+namespace bh {
+namespace {
+
+constexpr std::uint64_t kInsts = 8000;
+
+ExperimentConfig
+smallConfig(const char *pattern, MitigationType mech, unsigned n_rh,
+            bool bh_on)
+{
+    ExperimentConfig cfg;
+    cfg.mix = makeMix(pattern, 0);
+    cfg.mechanism = mech;
+    cfg.nRh = n_rh;
+    cfg.breakHammer = bh_on;
+    cfg.instructions = kInsts;
+    return cfg;
+}
+
+std::vector<ExperimentConfig>
+testGrid()
+{
+    return {
+        smallConfig("HHMA", MitigationType::kGraphene, 512, true),
+        smallConfig("HHMA", MitigationType::kGraphene, 512, false),
+        smallConfig("LLLA", MitigationType::kPara, 1024, true),
+        smallConfig("MMLL", MitigationType::kNone, 1024, false),
+        smallConfig("MMLA", MitigationType::kRfm, 256, true),
+        smallConfig("HHMM", MitigationType::kHydra, 512, false),
+    };
+}
+
+/** Bit-exact equality of two experiment results. */
+void
+expectIdentical(const ExperimentResult &a, const ExperimentResult &b)
+{
+    EXPECT_EQ(a.weightedSpeedup, b.weightedSpeedup);
+    EXPECT_EQ(a.maxSlowdown, b.maxSlowdown);
+    EXPECT_EQ(a.energyNj, b.energyNj);
+    EXPECT_EQ(a.preventiveActions, b.preventiveActions);
+    EXPECT_EQ(a.raw.cycles, b.raw.cycles);
+    EXPECT_EQ(a.raw.demandActs, b.raw.demandActs);
+    EXPECT_EQ(a.raw.suspectMarks, b.raw.suspectMarks);
+    EXPECT_EQ(a.raw.quotaRejections, b.raw.quotaRejections);
+    EXPECT_EQ(a.raw.preventiveEnergyNj, b.raw.preventiveEnergyNj);
+    EXPECT_EQ(a.raw.bhScores, b.raw.bhScores);
+    EXPECT_EQ(a.raw.bhQuotas, b.raw.bhQuotas);
+    EXPECT_EQ(a.raw.benignIpcs(), b.raw.benignIpcs());
+    EXPECT_TRUE(a.raw.benignReadLatencyNs == b.raw.benignReadLatencyNs);
+}
+
+/** A fresh (removed and re-creatable) store directory for @p tag. */
+std::string
+storeDir(const std::string &tag)
+{
+    std::string dir = ::testing::TempDir() + "bh_result_store_" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::string
+resultsPath(const std::string &dir)
+{
+    return dir + "/results.jsonl";
+}
+
+// ---------------------------------------------------------------------
+// In-memory memoization (the contract inherited from ExperimentPool).
+// ---------------------------------------------------------------------
+
+TEST(ResultStoreTest, MemoizesAndDedupsPrefetch)
+{
+    ResultStore store(2);
+    ExperimentConfig cfg =
+        smallConfig("MMLL", MitigationType::kNone, 1024, false);
+
+    // Duplicates inside one prefetch collapse to one simulation.
+    store.prefetch({cfg, cfg, cfg});
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().computed, 1u);
+
+    // A second prefetch of a cached point adds nothing.
+    store.prefetch({cfg});
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().computed, 1u);
+
+    const ExperimentResult &a = store.get(cfg);
+    const ExperimentResult &b = store.get(cfg);
+    EXPECT_EQ(&a, &b); // same cached entry, not a re-run
+
+    ExperimentResult direct = runExperiment(cfg);
+    expectIdentical(direct, a);
+}
+
+TEST(ResultStoreTest, JsonSortedByKeyAndStable)
+{
+    std::vector<ExperimentConfig> grid = testGrid();
+
+    ResultStore store1(1), store8(8);
+    // Feed the stores in different orders; the export must not care.
+    store1.prefetch(grid);
+    std::vector<ExperimentConfig> reversed(grid.rbegin(), grid.rend());
+    store8.prefetch(reversed);
+
+    EXPECT_EQ(store1.toJson().dump(), store8.toJson().dump());
+
+    JsonValue arr = store1.toJson();
+    ASSERT_EQ(arr.size(), grid.size());
+    for (std::size_t i = 1; i < arr.size(); ++i)
+        EXPECT_LT(arr.at(i - 1).get("key").asString(),
+                  arr.at(i).get("key").asString());
+}
+
+TEST(ResultStoreTest, DefaultedHorizonResolvesIntoTheContentAddress)
+{
+    // A config that leaves instructions/bh defaulted (resolved from the
+    // BH_INSTS environment at run time) must be cached under the same
+    // content address as the equivalent fully explicit config...
+    ::setenv("BH_INSTS", "3000", 1);
+    ExperimentConfig defaulted =
+        smallConfig("MMLL", MitigationType::kNone, 1024, false);
+    defaulted.instructions = 0;
+    ExperimentConfig explicit_cfg = defaulted;
+    explicit_cfg.instructions = 3000;
+    explicit_cfg.bh = scaledBreakHammerConfig(3000);
+
+    ResultStore store(1);
+    store.prefetch({defaulted, explicit_cfg});
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.stats().computed, 1u);
+
+    // ...and a different environment horizon must be a different
+    // address — a store consulted under a new BH_INSTS recomputes
+    // instead of silently serving wrong-horizon records.
+    ::setenv("BH_INSTS", "4000", 1);
+    store.get(defaulted);
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.stats().computed, 2u);
+    ::unsetenv("BH_INSTS");
+}
+
+// ---------------------------------------------------------------------
+// The durable schema round-trips exactly.
+// ---------------------------------------------------------------------
+
+TEST(ResultStoreTest, ExperimentJsonRoundTripIsByteExact)
+{
+    ExperimentConfig cfg =
+        smallConfig("HHMA", MitigationType::kGraphene, 512, true);
+    ExperimentResult direct = runExperiment(cfg);
+
+    JsonValue doc = experimentResultToJson(cfg, direct);
+    std::string first = doc.dump(2);
+
+    JsonValue reparsed = JsonValue::parseOrDie(first);
+    ExperimentResult restored;
+    ASSERT_TRUE(experimentResultFromJson(reparsed, &restored));
+    expectIdentical(direct, restored);
+
+    // Re-serializing the restored result reproduces the document byte
+    // for byte — the property that makes warm-store JSON exports
+    // identical to cold ones.
+    EXPECT_EQ(experimentResultToJson(cfg, restored).dump(2), first);
+
+    // The widened schema carries the full histogram, not just summary
+    // percentiles: the parsed histogram answers every query identically.
+    EXPECT_TRUE(restored.raw.benignReadLatencyNs ==
+                direct.raw.benignReadLatencyNs);
+    const JsonValue &lat =
+        reparsed.get("raw").get("benign_read_latency_ns");
+    Histogram h = histogramFromJson(lat.get("histogram"));
+    EXPECT_TRUE(h == direct.raw.benignReadLatencyNs);
+}
+
+TEST(ResultStoreTest, FromJsonRejectsOlderSchemaLayouts)
+{
+    ExperimentConfig cfg =
+        smallConfig("MMLL", MitigationType::kNone, 1024, false);
+    JsonValue doc = experimentResultToJson(cfg, runExperiment(cfg));
+
+    // A pre-store record had no per-core array; rebuild the document
+    // without it and expect a clean refusal, not garbage.
+    JsonValue stripped = JsonValue::object();
+    for (const auto &member : doc.members()) {
+        if (member.first != "raw") {
+            stripped.set(member.first, member.second);
+            continue;
+        }
+        JsonValue raw = JsonValue::object();
+        for (const auto &raw_member : member.second.members())
+            if (raw_member.first != "cores")
+                raw.set(raw_member.first, raw_member.second);
+        stripped.set("raw", std::move(raw));
+    }
+
+    ExperimentResult out;
+    EXPECT_FALSE(experimentResultFromJson(stripped, &out));
+    EXPECT_TRUE(experimentResultFromJson(doc, &out));
+}
+
+// ---------------------------------------------------------------------
+// Persistence: cross-process round-trip, versioning, sharding.
+// ---------------------------------------------------------------------
+
+TEST(ResultStoreTest, ReloadInFreshStoreIsBitIdenticalAndSimulatesNothing)
+{
+    std::string dir = storeDir("roundtrip");
+    std::vector<ExperimentConfig> grid = testGrid();
+
+    std::string cold_json;
+    {
+        ResultStore store(2);
+        std::string error;
+        ASSERT_TRUE(store.open(dir, &error)) << error;
+        store.prefetch(grid);
+        EXPECT_EQ(store.stats().computed, grid.size());
+        cold_json = store.toJson().dump(2);
+    }
+
+    ResultStore warm(2);
+    std::string error;
+    ASSERT_TRUE(warm.open(dir, &error)) << error;
+    EXPECT_EQ(warm.stats().loaded, grid.size());
+    warm.prefetch(grid);
+    EXPECT_EQ(warm.stats().computed, 0u) << "warm run must not simulate";
+    EXPECT_EQ(warm.stats().hits, grid.size());
+    EXPECT_EQ(warm.toJson().dump(2), cold_json);
+
+    for (const ExperimentConfig &cfg : grid)
+        expectIdentical(runExperiment(cfg), warm.get(cfg));
+}
+
+TEST(ResultStoreTest, SchemaVersionMismatchTriggersRecomputeNotCorruption)
+{
+    std::string dir = storeDir("version");
+    ExperimentConfig cfg =
+        smallConfig("HHMM", MitigationType::kHydra, 512, false);
+
+    {
+        ResultStore store(1);
+        std::string error;
+        ASSERT_TRUE(store.open(dir, &error)) << error;
+        store.prefetch({cfg});
+    }
+
+    // Rewrite every record under a different schema version, emulating a
+    // store written by an older (or newer) binary.
+    std::string rewritten;
+    {
+        std::ifstream in(resultsPath(dir));
+        std::string line;
+        while (std::getline(in, line)) {
+            JsonValue rec = JsonValue::parseOrDie(line);
+            rec.set("v", ResultStore::kSchemaVersion + 1);
+            rewritten += rec.dump() + "\n";
+        }
+    }
+    {
+        std::ofstream out(resultsPath(dir), std::ios::trunc);
+        out << rewritten;
+    }
+
+    ResultStore store(1);
+    std::string error;
+    ASSERT_TRUE(store.open(dir, &error)) << error;
+    EXPECT_EQ(store.stats().loaded, 0u);
+    EXPECT_GE(store.stats().skipped, 1u);
+
+    // The point recomputes cleanly and lands back in the store.
+    expectIdentical(runExperiment(cfg), store.get(cfg));
+    EXPECT_EQ(store.stats().computed, 1u);
+}
+
+TEST(ResultStoreTest, TornTrailingLineIsSkippedNotFatal)
+{
+    std::string dir = storeDir("torn");
+    ExperimentConfig cfg =
+        smallConfig("MMLL", MitigationType::kNone, 1024, false);
+
+    {
+        ResultStore store(1);
+        std::string error;
+        ASSERT_TRUE(store.open(dir, &error)) << error;
+        store.prefetch({cfg});
+    }
+    {
+        // A crashed writer's torn tail: half a record, no newline.
+        std::ofstream out(resultsPath(dir), std::ios::app);
+        out << "{\"v\":1,\"kind\":\"experiment\",\"key\":\"tr";
+    }
+
+    ResultStore store(1);
+    std::string error;
+    ASSERT_TRUE(store.open(dir, &error)) << error;
+    EXPECT_GE(store.stats().skipped, 1u);
+    store.prefetch({cfg});
+    EXPECT_EQ(store.stats().computed, 0u); // intact record still serves
+}
+
+TEST(ResultStoreTest, ShardedStoresMergeToTheUnshardedResult)
+{
+    std::vector<ExperimentConfig> grid = testGrid();
+
+    std::string dir_full = storeDir("full");
+    std::string cold_json;
+    {
+        ResultStore store(2);
+        std::string error;
+        ASSERT_TRUE(store.open(dir_full, &error)) << error;
+        store.prefetch(grid);
+        cold_json = store.toJson().dump(2);
+    }
+
+    // Two shard "machines", each computing only its content-addressed
+    // half into its own store.
+    std::string dir_s1 = storeDir("shard1");
+    std::string dir_s2 = storeDir("shard2");
+    std::size_t computed_total = 0;
+    for (unsigned shard = 1; shard <= 2; ++shard) {
+        ResultStore store(2);
+        std::string error;
+        ASSERT_TRUE(store.open(shard == 1 ? dir_s1 : dir_s2, &error))
+            << error;
+        store.setShard(shard, 2);
+        store.prefetch(grid);
+        EXPECT_EQ(store.stats().computed + store.stats().shardSkipped,
+                  grid.size());
+        computed_total += store.stats().computed;
+    }
+    EXPECT_EQ(computed_total, grid.size()) << "shards must partition";
+
+    // Merge = concatenate the append-only files.
+    std::string dir_merged = storeDir("merged");
+    std::filesystem::create_directories(dir_merged);
+    {
+        std::ofstream out(resultsPath(dir_merged), std::ios::binary);
+        for (const std::string &dir : {dir_s1, dir_s2}) {
+            std::ifstream in(resultsPath(dir), std::ios::binary);
+            out << in.rdbuf();
+        }
+    }
+
+    ResultStore merged(2);
+    std::string error;
+    ASSERT_TRUE(merged.open(dir_merged, &error)) << error;
+    merged.prefetch(grid);
+    EXPECT_EQ(merged.stats().computed, 0u);
+    EXPECT_EQ(merged.toJson().dump(2), cold_json);
+}
+
+TEST(ResultStoreTest, SoloIpcRunsPersistAndReload)
+{
+    std::string dir = storeDir("solo");
+    // A unique instruction count so this test's solo runs cannot already
+    // sit in the process-wide solo cache.
+    ExperimentConfig cfg =
+        smallConfig("HHMM", MitigationType::kHydra, 512, false);
+    cfg.instructions = 7777;
+
+    {
+        ResultStore store(1);
+        std::string error;
+        ASSERT_TRUE(store.open(dir, &error)) << error;
+        store.prefetch({cfg});
+        // One solo run per benign app in the mix.
+        EXPECT_EQ(store.stats().soloComputed,
+                  benignApps(cfg.mix).size());
+    }
+
+    ResultStore warm(1);
+    std::string error;
+    ASSERT_TRUE(warm.open(dir, &error)) << error;
+    EXPECT_EQ(warm.stats().soloLoaded, benignApps(cfg.mix).size());
+    warm.prefetch({cfg});
+    EXPECT_EQ(warm.stats().computed, 0u);
+    EXPECT_EQ(warm.stats().soloComputed, 0u);
+}
+
+} // namespace
+} // namespace bh

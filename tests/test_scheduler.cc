@@ -2,8 +2,9 @@
  * @file
  * Tests for the parallel experiment engine (sim/scheduler.h): scheduler
  * determinism across worker counts, per-run seed derivation, streaming,
- * the memoizing ExperimentPool, and golden-value regressions for the
- * paper's headline metrics on two small fixed mixes.
+ * and golden-value regressions for the paper's headline metrics on two
+ * small fixed mixes. (The memoization layer that used to live here as
+ * ExperimentPool is now the ResultStore — see test_result_store.cc.)
  */
 #include <gtest/gtest.h>
 
@@ -169,49 +170,6 @@ TEST(SchedulerTest, LogExportIsIdenticalAcrossThreadCounts)
         dumps.push_back(log.toJson().dump());
     }
     EXPECT_EQ(dumps[0], dumps[1]);
-}
-
-TEST(ExperimentPoolTest, MemoizesAndDedupsPrefetch)
-{
-    ExperimentPool pool(2);
-    ExperimentConfig cfg =
-        smallConfig("MMLL", MitigationType::kNone, 1024, false);
-
-    // Duplicates inside one prefetch collapse to one simulation.
-    pool.prefetch({cfg, cfg, cfg});
-    EXPECT_EQ(pool.size(), 1u);
-
-    // A second prefetch of a cached point adds nothing.
-    pool.prefetch({cfg});
-    EXPECT_EQ(pool.size(), 1u);
-
-    const ExperimentResult &a = pool.get(cfg);
-    const ExperimentResult &b = pool.get(cfg);
-    EXPECT_EQ(&a, &b); // same cached entry, not a re-run
-
-    ExperimentResult direct = runExperiment(cfg);
-    expectIdentical(direct, a);
-}
-
-TEST(ExperimentPoolTest, JsonSortedByKeyAndStable)
-{
-    std::vector<ExperimentConfig> grid = testGrid();
-
-    ExperimentPool pool1(1), pool8(8);
-    // Feed the pools in different orders; the export must not care.
-    pool1.prefetch(grid);
-    std::vector<ExperimentConfig> reversed(grid.rbegin(), grid.rend());
-    pool8.prefetch(reversed);
-
-    std::string a = pool1.toJson().dump();
-    std::string b = pool8.toJson().dump();
-    EXPECT_EQ(a, b);
-
-    JsonValue arr = pool1.toJson();
-    ASSERT_EQ(arr.size(), grid.size());
-    for (std::size_t i = 1; i < arr.size(); ++i)
-        EXPECT_LT(arr.at(i - 1).get("key").asString(),
-                  arr.at(i).get("key").asString());
 }
 
 TEST(SchedulerTest, ExperimentKeyDistinguishesEveryKnob)

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the declarative sweep builder (sim/sweep.h): axis expansion
+ * order and counts against hand-rolled loops, neutral defaults, baseline
+ * points, variant and forEach transforms, and section merging.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/sweep.h"
+
+namespace bh {
+namespace {
+
+std::vector<std::string>
+keysOf(const std::vector<ExperimentConfig> &configs)
+{
+    std::vector<std::string> keys;
+    for (const ExperimentConfig &cfg : configs)
+        keys.push_back(experimentKey(cfg));
+    return keys;
+}
+
+TEST(SweepSpecTest, DefaultsAreSingleNeutralPoint)
+{
+    SweepSpec spec("one");
+    spec.mix(makeMix("HHMM", 0)).mechanism(MitigationType::kHydra);
+
+    std::vector<ExperimentConfig> points = spec.expand();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(spec.name(), "one");
+    EXPECT_EQ(points[0].mix.name, makeMix("HHMM", 0).name);
+    EXPECT_EQ(points[0].mechanism, MitigationType::kHydra);
+    EXPECT_EQ(points[0].nRh, 1024u);
+    EXPECT_FALSE(points[0].breakHammer);
+    EXPECT_EQ(points[0].instructions, 0u);
+    EXPECT_FALSE(points[0].oracle);
+}
+
+TEST(SweepSpecTest, ExpandMatchesHandRolledLoops)
+{
+    const std::vector<MixSpec> mixes = {makeMix("HHMM", 0),
+                                        makeMix("LLLA", 1)};
+    const std::vector<unsigned> nrhs = {64, 1024};
+    const std::vector<MitigationType> mechs = {MitigationType::kHydra,
+                                               MitigationType::kPara};
+
+    SweepSpec spec("grid");
+    spec.mixes(mixes)
+        .withBaselines()
+        .nRhValues(nrhs)
+        .mechanisms(mechs)
+        .breakHammerAxis();
+
+    // The hand-rolled enumeration the spec replaces.
+    std::vector<ExperimentConfig> expected;
+    for (const MixSpec &mix : mixes) {
+        expected.push_back(SweepSpec::baselinePoint(mix));
+        for (unsigned n_rh : nrhs)
+            for (MitigationType mech : mechs)
+                for (bool bh_on : {false, true}) {
+                    ExperimentConfig cfg;
+                    cfg.mix = mix;
+                    cfg.mechanism = mech;
+                    cfg.nRh = n_rh;
+                    cfg.breakHammer = bh_on;
+                    expected.push_back(cfg);
+                }
+    }
+
+    EXPECT_EQ(keysOf(spec.expand()), keysOf(expected));
+    EXPECT_EQ(spec.pointCount(), 2u * (1 + 2 * 2 * 2));
+
+    // Expansion is a pure function of the spec.
+    EXPECT_EQ(keysOf(spec.expand()), keysOf(spec.expand()));
+}
+
+TEST(SweepSpecTest, BaselinePointIsCanonical)
+{
+    ExperimentConfig base = SweepSpec::baselinePoint(makeMix("HHMA", 0));
+    EXPECT_EQ(base.mechanism, MitigationType::kNone);
+    EXPECT_EQ(base.nRh, 1024u);
+    EXPECT_FALSE(base.breakHammer);
+    EXPECT_EQ(base.instructions, 0u);
+}
+
+TEST(SweepSpecTest, MixClassesExpandPerClassInstances)
+{
+    SweepSpec spec;
+    spec.mixClasses({"HHMM", "LLLA"}, 2).mechanism(MitigationType::kNone);
+
+    std::vector<ExperimentConfig> points = spec.expand();
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].mix.name, makeMix("HHMM", 0).name);
+    EXPECT_EQ(points[1].mix.name, makeMix("HHMM", 1).name);
+    EXPECT_EQ(points[2].mix.name, makeMix("LLLA", 0).name);
+    EXPECT_EQ(points[3].mix.name, makeMix("LLLA", 1).name);
+}
+
+TEST(SweepSpecTest, VariantsMultiplyAndApplyLast)
+{
+    SweepSpec spec;
+    spec.mix(makeMix("HHMA", 0))
+        .mechanism(MitigationType::kGraphene)
+        .breakHammer(true)
+        .variant("strict",
+                 [](ExperimentConfig &cfg) { cfg.bh.thThreat = 2.0; })
+        .variant("blunt",
+                 [](ExperimentConfig &cfg) { cfg.bluntThrottle = true; });
+
+    std::vector<ExperimentConfig> points = spec.expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].bh.thThreat, 2.0);
+    EXPECT_FALSE(points[0].bluntThrottle);
+    EXPECT_TRUE(points[1].bluntThrottle);
+    EXPECT_NE(experimentKey(points[0]), experimentKey(points[1]));
+}
+
+TEST(SweepSpecTest, ForEachTweaksSweptPointsButNotBaselines)
+{
+    SweepSpec spec;
+    spec.mix(makeMix("HHMM", 0))
+        .withBaselines()
+        .mechanism(MitigationType::kHydra)
+        .instructions(5000)
+        .forEach([](ExperimentConfig &cfg) { cfg.seed = 77; });
+
+    std::vector<ExperimentConfig> points = spec.expand();
+    ASSERT_EQ(points.size(), 2u);
+    // The baseline stays canonical except for the shared horizon (a
+    // normalization denominator must run as long as its numerators).
+    EXPECT_EQ(points[0].mechanism, MitigationType::kNone);
+    EXPECT_EQ(points[0].seed, 1u);
+    EXPECT_EQ(points[0].instructions, 5000u);
+    // The swept point takes both the axis values and the tweak.
+    EXPECT_EQ(points[1].seed, 77u);
+    EXPECT_EQ(points[1].instructions, 5000u);
+}
+
+TEST(SweepSpecTest, MergeSplicesSectionsInOrder)
+{
+    SweepSpec first("a");
+    first.mix(makeMix("HHMM", 0)).mechanism(MitigationType::kHydra);
+    SweepSpec second("b");
+    second.mix(makeMix("LLLA", 0))
+        .mechanism(MitigationType::kBlockHammer)
+        .nRh(256);
+
+    first.merge(second);
+    std::vector<ExperimentConfig> points = first.expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].mechanism, MitigationType::kHydra);
+    EXPECT_EQ(points[1].mechanism, MitigationType::kBlockHammer);
+    EXPECT_EQ(points[1].nRh, 256u);
+}
+
+TEST(SweepSpecTest, OmittedMechanismAxisDefaultsToNoMitigation)
+{
+    // Forgetting .mechanism() must never produce a silently empty grid
+    // (a figure's points would then dodge shard prefetches entirely).
+    SweepSpec spec;
+    spec.mix(makeMix("HHMM", 0));
+    std::vector<ExperimentConfig> points = spec.expand();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].mechanism, MitigationType::kNone);
+
+    // With baselines the two points coincide (same content address) —
+    // the store collapses them to one simulation.
+    SweepSpec with_base;
+    with_base.mix(makeMix("HHMM", 0)).withBaselines();
+    std::vector<ExperimentConfig> based = with_base.expand();
+    ASSERT_EQ(based.size(), 2u);
+    EXPECT_EQ(experimentKey(based[0]), experimentKey(based[1]));
+}
+
+} // namespace
+} // namespace bh
