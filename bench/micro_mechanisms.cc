@@ -89,7 +89,7 @@ BM_ParaCoinFlip(benchmark::State &state)
     para.setHost(&host);
     Cycle now = 0;
     for (auto _ : state)
-        para.onActivate(0, 5, 0, ++now);
+        para.commitAct(0, 5, 0, ++now);
 }
 BENCHMARK(BM_ParaCoinFlip);
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every tracked *.md file (skipping build directories), extracts
+inline links/images `[text](target)`, and verifies that each relative
+target exists on disk (anchors are stripped; `#section` fragments are not
+validated against headings). External schemes (http/https/mailto) are
+ignored. Prints every broken link and exits non-zero if any.
+
+Stdlib only — no pip dependencies.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SKIP_DIRS = {"build", ".git", ".github"}
+
+# Inline links and images; [text](target "title") titles are stripped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+# Fenced code blocks often contain example paths that are not links.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files():
+    for path in sorted(REPO.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def links_of(path: pathlib.Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def main() -> int:
+    broken = []
+    checked = 0
+    for md in markdown_files():
+        for lineno, target in links_of(md):
+            if EXTERNAL_RE.match(target):
+                continue  # http(s)/mailto/etc.
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue  # Pure anchor into the same file.
+            checked += 1
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(
+                    f"{md.relative_to(REPO)}:{lineno}: broken link "
+                    f"'{target}' -> {resolved.relative_to(REPO) if resolved.is_relative_to(REPO) else resolved}"
+                )
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"check_links: {checked} intra-repo links checked, "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

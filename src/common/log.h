@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/env.h"
+
 namespace bh {
 
 [[noreturn]] inline void
@@ -28,7 +30,29 @@ fatalImpl(const char *file, int line, const char *msg)
     std::exit(1);
 }
 
+/**
+ * True when BH_LOG is set non-zero (same envFlag() semantics as every
+ * other knob). Gates the opt-in verbose progress logging (BH_LOG()) —
+ * store loads, sweep prefetch summaries — which stays silent by default
+ * so bench output remains byte-comparable.
+ */
+inline bool
+verboseLogEnabled()
+{
+    static const bool enabled = envFlag("BH_LOG");
+    return enabled;
+}
+
 } // namespace bh
+
+/** Verbose progress line (stderr), enabled by BH_LOG=1. */
+#define BH_LOG(...)                                                           \
+    do {                                                                      \
+        if (::bh::verboseLogEnabled()) {                                      \
+            std::fprintf(stderr, "bh: " __VA_ARGS__);                         \
+            std::fputc('\n', stderr);                                         \
+        }                                                                     \
+    } while (0)
 
 /** Abort on simulator bug. */
 #define BH_PANIC(msg) ::bh::panicImpl(__FILE__, __LINE__, (msg))

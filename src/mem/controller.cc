@@ -321,7 +321,7 @@ MemoryController::issueDemandAct(const Request &req, Cycle now)
     if (observer != nullptr)
         observer->onDemandActivate(req.thread, req.flatBank, now);
     if (mitigation != nullptr)
-        mitigation->onActivate(req.flatBank, req.da.row, req.thread, now);
+        mitigation->commitAct(req.flatBank, req.da.row, req.thread, now);
 }
 
 void
@@ -405,19 +405,12 @@ MemoryController::tryIssueForQueue(BankedRequestQueue &queue, bool is_read,
 
     // Pass 2: oldest request that needs an ACT or a PRE. Per bank the
     // first actionable entry is unique: a closed bank's candidate is its
-    // oldest request (unless a mitigation delays specific rows), an open
-    // bank's is its oldest row conflict, precharging only when no same-row
-    // hit is pending or the hit streak hit the reordering cap.
-    bool probe_order = mitigation != nullptr && mitigation->delaysActs();
-
-    struct Pass2Item
-    {
-        std::uint64_t seq;
-        unsigned fb;
-        std::size_t pos;
-        bool isPre;
-    };
-    std::vector<Pass2Item> items; // Only used on the probe-order path.
+    // oldest request whose row the mitigation has released (probes are
+    // const, so a delayed older entry is simply skipped — exactly the
+    // linear reference scan's behaviour), an open bank's is its oldest
+    // row conflict, precharging only when no same-row hit is pending or
+    // the hit streak hit the reordering cap.
+    bool delays = mitigation != nullptr && mitigation->delaysActs();
 
     std::uint64_t best_seq = kNoSeq;
     unsigned best_fb = 0;
@@ -435,19 +428,25 @@ MemoryController::tryIssueForQueue(BankedRequestQueue &queue, bool is_read,
         if (!bank.open) {
             if (!engine_.canIssue(DramCommand::kAct, fb, now))
                 continue;
-            if (!probe_order) {
-                if (fifo.front().seq < best_seq) {
-                    best_seq = fifo.front().seq;
-                    best_fb = fb;
-                    best_pos = 0;
-                    best_is_pre = false;
+            std::size_t pos = 0;
+            if (delays) {
+                pos = kNoPos;
+                for (std::size_t i = 0; i < fifo.size(); ++i) {
+                    const Request &r = fifo[i].req;
+                    if (mitigation->probeActReleaseCycle(
+                            fb, r.da.row, r.thread, now) <= now) {
+                        pos = i;
+                        break;
+                    }
                 }
-            } else {
-                // Row-delay mechanisms (BlockHammer) are probed per entry
-                // in request-age order below, exactly as a linear scan
-                // would, so their probe-time epoch rolls stay identical.
-                for (std::size_t i = 0; i < fifo.size(); ++i)
-                    items.push_back(Pass2Item{fifo[i].seq, fb, i, false});
+                if (pos == kNoPos)
+                    continue; // Every queued row is delayed right now.
+            }
+            if (fifo[pos].seq < best_seq) {
+                best_seq = fifo[pos].seq;
+                best_fb = fb;
+                best_pos = pos;
+                best_is_pre = false;
             }
             continue;
         }
@@ -461,40 +460,12 @@ MemoryController::tryIssueForQueue(BankedRequestQueue &queue, bool is_read,
         if (!engine_.canIssue(DramCommand::kPre, fb, now))
             continue;
         std::uint64_t seq = fifo[scan.confPos].seq;
-        if (!probe_order) {
-            if (seq < best_seq) {
-                best_seq = seq;
-                best_fb = fb;
-                best_pos = scan.confPos;
-                best_is_pre = true;
-            }
-        } else {
-            items.push_back(Pass2Item{seq, fb, scan.confPos, true});
+        if (seq < best_seq) {
+            best_seq = seq;
+            best_fb = fb;
+            best_pos = scan.confPos;
+            best_is_pre = true;
         }
-    }
-
-    if (probe_order) {
-        std::sort(items.begin(), items.end(),
-                  [](const Pass2Item &a, const Pass2Item &b) {
-                      return a.seq < b.seq;
-                  });
-        for (const Pass2Item &item : items) {
-            if (!item.isPre) {
-                const QueuedRequest &qr = queue.bank(item.fb)[item.pos];
-                if (mitigation->actReleaseCycle(item.fb, qr.req.da.row,
-                                                qr.req.thread, now) > now)
-                    continue; // BlockHammer-style row delay.
-                issueDemandAct(qr.req, now);
-                useCommandSlot(now);
-                return true;
-            }
-            engine_.issuePre(item.fb, now);
-            hitStreak[item.fb] = 0;
-            invalidateRowState(item.fb);
-            useCommandSlot(now);
-            return true;
-        }
-        return false;
     }
 
     if (best_seq == kNoSeq)
@@ -502,11 +473,13 @@ MemoryController::tryIssueForQueue(BankedRequestQueue &queue, bool is_read,
     if (!best_is_pre) {
         const Request &req = queue.bank(best_fb)[best_pos].req;
         // Guard the delaysActs() contract: a mechanism that overrides
-        // actReleaseCycle() without also overriding delaysActs() would
-        // silently lose its ACT delays on this fast path.
+        // probeActReleaseCycle() without also overriding delaysActs()
+        // would silently lose its ACT delays on this fast path. Probes
+        // are const, so re-asking here is always safe.
         BH_ASSERT(mitigation == nullptr ||
-                      mitigation->actReleaseCycle(best_fb, req.da.row,
-                                                  req.thread, now) <= now,
+                      mitigation->probeActReleaseCycle(best_fb, req.da.row,
+                                                       req.thread, now) <=
+                          now,
                   "mitigation delays ACTs but delaysActs() returns false");
         issueDemandAct(req, now);
         useCommandSlot(now);
@@ -569,6 +542,14 @@ void
 MemoryController::tick(Cycle now)
 {
     lastSeenCycle = now;
+    // Roll time-based mitigation state (epoch boundaries) before any
+    // scheduling decision — and before the command-slot gate, exactly as
+    // a dense per-cycle loop would reach this point every cycle. The
+    // skip-ahead loop ticks at every cycle nextEventCycle() names, and
+    // that set includes nextTimedEventCycle(), so both loops roll at the
+    // same cycle.
+    if (mitigation != nullptr)
+        mitigation->advanceTo(now);
     processCompletions(now);
     if (!commandSlotFree(now))
         return;
@@ -586,6 +567,7 @@ MemoryController::demandEventCycle(const BankedRequestQueue &queue,
                                    bool is_read, Cycle now) const
 {
     DramCommand col_cmd = is_read ? DramCommand::kRead : DramCommand::kWrite;
+    bool delays = mitigation != nullptr && mitigation->delaysActs();
     Cycle at = kNeverCycle;
     for (unsigned fb : queue.activeBanks()) {
         // Banks gated by maintenance or refresh wake through those paths'
@@ -596,11 +578,30 @@ MemoryController::demandEventCycle(const BankedRequestQueue &queue,
             continue;
         const BankState &bank = engine_.bank(fb);
         if (!bank.open) {
-            // Mitigation row delays (BlockHammer) may postpone the ACT
-            // further; earliestIssue is still a valid lower bound, and a
-            // too-early wake-up is a harmless no-op tick.
-            at = std::min(at,
-                          engine_.earliestIssue(DramCommand::kAct, fb, now));
+            Cycle issue_at =
+                engine_.earliestIssue(DramCommand::kAct, fb, now);
+            if (delays) {
+                // Mitigation row delays (BlockHammer) postpone the ACT
+                // beyond the bank timing: the bank's next chance is the
+                // earliest release among its queued rows. Probes are
+                // const and already account for the epoch boundary
+                // clearing every delay, so this stays a valid lower
+                // bound; delays added by *future* commits only move the
+                // true event later, making an early wake a harmless
+                // no-op tick.
+                Cycle release = kNeverCycle;
+                for (const QueuedRequest &qr : queue.bank(fb)) {
+                    Cycle r = mitigation->probeActReleaseCycle(
+                        fb, qr.req.da.row, qr.req.thread, now);
+                    if (r <= now) {
+                        release = now;
+                        break;
+                    }
+                    release = std::min(release, r);
+                }
+                issue_at = std::max(issue_at, release);
+            }
+            at = std::min(at, issue_at);
             continue;
         }
         const BankScan &scan = scanOf(is_read, fb);
@@ -675,6 +676,14 @@ MemoryController::nextEventCycle(Cycle now) const
         cmd_at = std::max(cmd_at, nextCommandAt);
 
     Cycle at = std::min(completion_at, cmd_at);
+
+    // Time-based mitigation state (BlockHammer's epoch boundary) rolls in
+    // tick() before the command-slot gate, so it is not subject to
+    // nextCommandAt: the skip-ahead loop must tick at the boundary itself
+    // or quota resets would land late.
+    if (mitigation != nullptr)
+        at = std::min(at, mitigation->nextTimedEventCycle(now));
+
     return std::max(at, now + 1);
 }
 

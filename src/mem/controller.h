@@ -20,7 +20,12 @@
  * or a row-state change of that bank. Selection order is provably
  * identical to a linear oldest-first scan: within a bank the eligible
  * candidate is unique, so picking the globally smallest sequence number
- * among per-bank candidates reproduces the linear scan's choice.
+ * among per-bank candidates reproduces the linear scan's choice. ACT-
+ * delaying mechanisms (BlockHammer) are queried through the const
+ * probeActReleaseCycle() — a closed bank's candidate is its oldest
+ * *released* entry — and commit their tracking state only when the ACT
+ * actually issues, so probing is free of side effects and the scan stays
+ * cached.
  *
  * nextEventCycle() exposes a conservative lower bound on the next cycle
  * tick() can do anything, which System::run's skip-ahead loop uses to jump

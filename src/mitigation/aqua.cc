@@ -16,7 +16,7 @@ Aqua::Aqua(unsigned n_rh, const DramSpec &spec)
 }
 
 void
-Aqua::onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+Aqua::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                  Cycle now)
 {
     (void)thread;

@@ -29,7 +29,7 @@ class Aqua : public IMitigation
 
     const char *name() const override { return "AQUA"; }
 
-    void onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+    void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
     unsigned migrationThreshold() const { return threshold; }

@@ -35,8 +35,8 @@ BlockHammer::rollEpoch(Cycle now)
 }
 
 void
-BlockHammer::onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
-                        Cycle now)
+BlockHammer::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
+                       Cycle now)
 {
     rollEpoch(now);
     std::uint64_t key = keyOf(flat_bank, row);
@@ -60,18 +60,31 @@ BlockHammer::onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
 }
 
 Cycle
-BlockHammer::actReleaseCycle(unsigned flat_bank, unsigned row,
-                             ThreadId thread, Cycle now)
+BlockHammer::probeActReleaseCycle(unsigned flat_bank, unsigned row,
+                                  ThreadId thread, Cycle now) const
 {
     (void)thread;
-    rollEpoch(now);
+    // An elapsed epoch boundary clears every delay; report that outcome
+    // without applying the roll (probes must stay side-effect-free).
+    if (now - epochStart >= epochLength)
+        return now;
     std::uint64_t key = keyOf(flat_bank, row);
     if (cbf[active].estimate(key) < nbl)
         return now;
     auto it = lastBlacklistedAct.find(key);
     if (it == lastBlacklistedAct.end())
         return now;
-    return it->second + tDelay;
+    // The boundary releases the row even if the raw spacing would not.
+    return std::min(it->second + tDelay, epochStart + epochLength);
+}
+
+Cycle
+BlockHammer::nextTimedEventCycle(Cycle now) const
+{
+    Cycle boundary = epochStart + epochLength;
+    while (boundary <= now)
+        boundary += epochLength;
+    return boundary;
 }
 
 } // namespace bh

@@ -80,11 +80,26 @@ class BlockHammer : public IMitigation
 
     const char *name() const override { return "BlockHammer"; }
 
-    void onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
-                    Cycle now) override;
+    void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
+                   Cycle now) override;
 
-    Cycle actReleaseCycle(unsigned flat_bank, unsigned row, ThreadId thread,
-                          Cycle now) override;
+    /**
+     * Pure query — never rolls the epoch. A row whose delay would have
+     * been cleared by an epoch boundary at or before @p now reports
+     * itself released; the state itself rolls in advanceTo()/commitAct().
+     */
+    Cycle probeActReleaseCycle(unsigned flat_bank, unsigned row,
+                               ThreadId thread, Cycle now) const override;
+
+    /** Roll the RowBlocker/AttackThrottler epoch state to @p now. */
+    void advanceTo(Cycle now) override { rollEpoch(now); }
+
+    /**
+     * The next epoch boundary: every blacklist delay clears and every
+     * throttled thread's quota is restored there, so the skip-ahead loop
+     * must simulate that cycle.
+     */
+    Cycle nextTimedEventCycle(Cycle now) const override;
 
     bool delaysActs() const override { return true; }
 

@@ -18,7 +18,7 @@ Graphene::Graphene(unsigned n_rh, const DramSpec &spec)
 }
 
 void
-Graphene::onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+Graphene::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                      Cycle now)
 {
     (void)thread;

@@ -27,7 +27,7 @@ class Graphene : public IMitigation
 
     const char *name() const override { return "Graphene"; }
 
-    void onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+    void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
     unsigned refreshThreshold() const { return threshold; }

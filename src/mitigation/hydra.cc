@@ -43,7 +43,7 @@ Hydra::rccTouch(std::uint64_t row_key, unsigned flat_bank)
 }
 
 void
-Hydra::onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+Hydra::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                   Cycle now)
 {
     (void)thread;

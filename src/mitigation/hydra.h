@@ -32,7 +32,7 @@ class Hydra : public IMitigation
 
     const char *name() const override { return "Hydra"; }
 
-    void onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+    void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
     unsigned rowThreshold() const { return rowTh; }

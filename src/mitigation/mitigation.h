@@ -3,14 +3,30 @@
  * Interfaces connecting RowHammer mitigation mechanisms, the memory
  * controller, and BreakHammer.
  *
- * A mitigation mechanism observes demand row activations via `onActivate`
- * and requests RowHammer-preventive actions through the `IMitigationHost`
- * (implemented by the memory controller): victim-row refreshes, row
- * migrations (AQUA), RFM commands, or an alert back-off (PRAC). The host
- * executes the action as a bank/rank maintenance blackout, accounts its
- * energy, informs the RowHammer oracle that the aggressor's victims were
- * refreshed, and notifies the attached `IActionObserver` (BreakHammer) so
- * it can attribute RowHammer-preventive scores (§4.1).
+ * A mitigation mechanism observes committed demand row activations via
+ * `commitAct` and requests RowHammer-preventive actions through the
+ * `IMitigationHost` (implemented by the memory controller): victim-row
+ * refreshes, row migrations (AQUA), RFM commands, or an alert back-off
+ * (PRAC). The host executes the action as a bank/rank maintenance
+ * blackout, accounts its energy, informs the RowHammer oracle that the
+ * aggressor's victims were refreshed, and notifies the attached
+ * `IActionObserver` (BreakHammer) so it can attribute RowHammer-preventive
+ * scores (§4.1).
+ *
+ * The interface separates *probes* from *commits* so the controller's
+ * scheduler (and the skip-ahead loop's event computation) can query a
+ * mechanism speculatively, any number of times, in any order:
+ *
+ *  - `probeActReleaseCycle()` is a const, side-effect-free query — N
+ *    probes followed by one commit must behave exactly like one probe
+ *    followed by one commit;
+ *  - `commitAct()` mutates tracking state and fires only when the
+ *    controller actually issues the ACT;
+ *  - `advanceTo()` rolls purely time-based state (epoch rollovers, quota
+ *    resets) and is called once per controller tick, before scheduling;
+ *  - `nextTimedEventCycle()` exposes the next cycle at which that
+ *    time-based state changes, so the skip-ahead loop never jumps past a
+ *    throttling decision.
  */
 #pragma once
 
@@ -94,9 +110,13 @@ class IMitigation
 
     virtual const char *name() const = 0;
 
-    /** Called after every demand activation (the trigger algorithm). */
-    virtual void onActivate(unsigned flat_bank, unsigned row,
-                            ThreadId thread, Cycle now) = 0;
+    /**
+     * Commit one demand activation (the trigger algorithm). Called only
+     * when the controller actually issues the ACT — never from a
+     * scheduling probe.
+     */
+    virtual void commitAct(unsigned flat_bank, unsigned row,
+                           ThreadId thread, Cycle now) = 0;
 
     /**
      * Called when a periodic REF retires on @p rank; @p sweep_start /
@@ -114,13 +134,19 @@ class IMitigation
     }
 
     /**
-     * Earliest cycle a demand ACT to (@p flat_bank, @p row) may issue.
-     * BlockHammer delays blacklisted rows here; everything else returns
-     * @p now.
+     * Earliest cycle a demand ACT to (@p flat_bank, @p row) may issue,
+     * as of @p now. BlockHammer delays blacklisted rows here; everything
+     * else returns @p now.
+     *
+     * This is a pure query: it must not mutate any tracking state, so
+     * the scheduler may probe any row, any number of times, in any
+     * order, without changing what the mechanism later commits. State
+     * that would have rolled by @p now (e.g., an elapsed epoch boundary)
+     * must be *accounted for* in the answer, not applied.
      */
     virtual Cycle
-    actReleaseCycle(unsigned flat_bank, unsigned row, ThreadId thread,
-                    Cycle now)
+    probeActReleaseCycle(unsigned flat_bank, unsigned row, ThreadId thread,
+                         Cycle now) const
     {
         (void)flat_bank;
         (void)row;
@@ -129,11 +155,38 @@ class IMitigation
     }
 
     /**
-     * Whether actReleaseCycle() can return a cycle past @p now. The
+     * Roll purely time-based state (epoch rollovers, per-epoch quota
+     * resets) forward to @p now. The controller calls this once at the
+     * top of every tick, before any scheduling decision; it must be
+     * idempotent within a cycle and depend only on @p now, never on how
+     * often it was called on the way there.
+     */
+    virtual void
+    advanceTo(Cycle now)
+    {
+        (void)now;
+    }
+
+    /**
+     * Next cycle > @p now at which advanceTo() will change state that
+     * scheduling decisions depend on (e.g., BlockHammer's epoch boundary,
+     * which clears every blacklist delay and restores throttled quotas),
+     * or kNeverCycle. The skip-ahead loop includes this in its wake set
+     * so it never jumps past a throttling decision.
+     */
+    virtual Cycle
+    nextTimedEventCycle(Cycle now) const
+    {
+        (void)now;
+        return kNeverCycle;
+    }
+
+    /**
+     * Whether probeActReleaseCycle() can return a cycle past @p now. The
      * controller's indexed FR-FCFS scan only probes per-row release
-     * cycles (in strict request-age order, mirroring a linear scan) for
-     * mechanisms that actually delay ACTs; everything else resolves a
-     * closed bank's candidate to its oldest request without any probe.
+     * cycles for mechanisms that actually delay ACTs; everything else
+     * resolves a closed bank's candidate to its oldest request without
+     * any probe.
      */
     virtual bool delaysActs() const { return false; }
 

@@ -20,7 +20,7 @@ Para::Para(unsigned n_rh, double fail_probability, std::uint64_t seed)
 {}
 
 void
-Para::onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+Para::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                  Cycle now)
 {
     (void)thread;

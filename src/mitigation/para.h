@@ -28,7 +28,7 @@ class Para : public IMitigation
 
     const char *name() const override { return "PARA"; }
 
-    void onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+    void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
     /** The configured refresh probability. */

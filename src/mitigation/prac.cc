@@ -22,7 +22,7 @@ Prac::Prac(unsigned n_rh, const DramSpec &spec, unsigned abo_rfms)
 {}
 
 void
-Prac::onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+Prac::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                  Cycle now)
 {
     (void)thread;

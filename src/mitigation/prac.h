@@ -34,7 +34,7 @@ class Prac : public IMitigation
 
     const char *name() const override { return "PRAC"; }
 
-    void onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+    void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
     void onPeriodicRefresh(unsigned rank, unsigned sweep_start,

@@ -21,7 +21,7 @@ Rega::Rega(unsigned n_rh, unsigned num_threads)
 {}
 
 void
-Rega::onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+Rega::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                  Cycle now)
 {
     (void)flat_bank;

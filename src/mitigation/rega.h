@@ -31,7 +31,7 @@ class Rega : public IMitigation
 
     const char *name() const override { return "REGA"; }
 
-    void onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+    void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
     unsigned scorePeriod() const { return regaT; }

@@ -14,7 +14,7 @@ Rfm::Rfm(unsigned n_rh, const DramSpec &spec)
 {}
 
 void
-Rfm::onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+Rfm::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                 Cycle now)
 {
     (void)thread;

@@ -29,7 +29,7 @@ class Rfm : public IMitigation
 
     const char *name() const override { return "RFM"; }
 
-    void onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+    void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
     void onPeriodicRefresh(unsigned rank, unsigned sweep_start,

@@ -18,7 +18,7 @@ Twice::Twice(unsigned n_rh, const DramSpec &spec)
 }
 
 void
-Twice::onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+Twice::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                   Cycle now)
 {
     (void)thread;

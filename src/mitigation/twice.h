@@ -27,7 +27,7 @@ class Twice : public IMitigation
 
     const char *name() const override { return "TWiCe"; }
 
-    void onActivate(unsigned flat_bank, unsigned row, ThreadId thread,
+    void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
     void onPeriodicRefresh(unsigned rank, unsigned sweep_start,

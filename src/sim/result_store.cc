@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/log.h"
 #include "sim/scheduler.h"
 
 namespace bh {
@@ -144,6 +145,10 @@ ResultStore::loadFile(const std::string &path)
             ++counters.skipped;
         }
     }
+    BH_LOG("store: loaded %zu experiment + %zu solo records from %s "
+           "(%zu skipped)",
+           counters.loaded, counters.soloLoaded, path.c_str(),
+           counters.skipped);
 }
 
 void
@@ -253,8 +258,12 @@ ResultStore::prefetch(const std::vector<ExperimentConfig> &configs)
             missing.push_back(std::move(resolved));
         }
     }
-    if (missing.empty())
+    if (missing.empty()) {
+        BH_LOG("prefetch: %zu points, all cached", configs.size());
         return;
+    }
+    BH_LOG("prefetch: %zu points, simulating %zu on %u thread(s)",
+           configs.size(), missing.size(), threads);
 
     SchedulerOptions options;
     options.threads = threads;

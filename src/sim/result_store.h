@@ -68,10 +68,17 @@ class ResultStore
   public:
     /**
      * Store format version. Bump when experimentResultToJson()'s schema
-     * or experimentKey()'s layout changes incompatibly; records written
-     * under any other version are recomputed, not misread.
+     * or experimentKey()'s layout changes incompatibly — or when a
+     * simulation-semantics change makes old records non-reproducible;
+     * records written under any other version are recomputed, not
+     * misread.
+     *
+     * v2: BlockHammer's epoch state rolls at exact boundaries
+     * (IMitigation::advanceTo) instead of at scheduler probe times, so
+     * BlockHammer-point records written by v1 no longer match what the
+     * simulator computes.
      */
-    static constexpr std::uint64_t kSchemaVersion = 1;
+    static constexpr std::uint64_t kSchemaVersion = 2;
 
     /** @param threads Worker threads for prefetch() grids. */
     explicit ResultStore(unsigned threads = 1);

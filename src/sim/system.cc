@@ -333,13 +333,12 @@ System::run(std::uint64_t benign_target, Cycle max_cycles)
             core->setTarget(benign_target);
 
     // Reference mode: tick every cycle. The event-driven loop below must
-    // match it bit for bit (test_system_skip compares both). Mechanisms
-    // that delay ACTs (BlockHammer) roll their epoch state from inside
-    // the scheduler's per-row probes, which fire on dense ticks even when
-    // no command issues — skipping would shift those rolls, so such runs
-    // stay on the dense loop.
-    const bool dense = envFlag("BH_DENSE_TICK") ||
-                       (mitigation != nullptr && mitigation->delaysActs());
+    // match it bit for bit (test_system_skip compares both). ACT-delaying
+    // mechanisms (BlockHammer) ride the event loop too: scheduler probes
+    // are const, epoch state rolls in IMitigation::advanceTo() at the top
+    // of every controller tick, and the controller's wake set includes
+    // the mechanism's next release/epoch-boundary cycle.
+    const bool dense = envFlag("BH_DENSE_TICK");
 
     if (!dense)
         fillRejectSnapshot(&prevSnap);

@@ -237,13 +237,13 @@ TEST_F(ControllerFixture, MitigationActReleaseDelaysIssue)
     struct Delayer : IMitigation
     {
         const char *name() const override { return "delayer"; }
-        void onActivate(unsigned, unsigned, ThreadId, Cycle) override
+        void commitAct(unsigned, unsigned, ThreadId, Cycle) override
         {
             ++acts;
         }
         Cycle
-        actReleaseCycle(unsigned, unsigned row, ThreadId, Cycle now)
-            override
+        probeActReleaseCycle(unsigned, unsigned row, ThreadId,
+                             Cycle now) const override
         {
             // Absolute release time, as BlockHammer computes it.
             return row == 5 ? std::max<Cycle>(now, 5000) : now;

@@ -157,7 +157,7 @@ TEST(ParaTest, TriggerRateMatchesProbability)
     para.setHost(&host);
     const int n = 200000;
     for (int i = 0; i < n; ++i)
-        para.onActivate(0, 5, 0, i);
+        para.commitAct(0, 5, 0, i);
     double rate = static_cast<double>(host.vrrs) / n;
     EXPECT_NEAR(rate, para.probability(), para.probability() * 0.1);
 }
@@ -169,14 +169,14 @@ TEST(GrapheneTest, TriggersAtThreshold)
     Graphene g(1024, spec);
     g.setHost(&host);
     for (unsigned i = 0; i < g.refreshThreshold() - 1; ++i)
-        g.onActivate(0, 7, 0, i);
+        g.commitAct(0, 7, 0, i);
     EXPECT_EQ(host.vrrs, 0u);
-    g.onActivate(0, 7, 0, 1000);
+    g.commitAct(0, 7, 0, 1000);
     EXPECT_EQ(host.vrrs, 1u);
     EXPECT_EQ(host.lastVrrRow, 7u);
     // Counter reset: the next threshold-1 activations do not trigger.
     for (unsigned i = 0; i < g.refreshThreshold() - 1; ++i)
-        g.onActivate(0, 7, 0, 2000 + i);
+        g.commitAct(0, 7, 0, 2000 + i);
     EXPECT_EQ(host.vrrs, 1u);
 }
 
@@ -187,10 +187,10 @@ TEST(GrapheneTest, IndependentPerBank)
     Graphene g(1024, spec);
     g.setHost(&host);
     for (unsigned i = 0; i < g.refreshThreshold(); ++i)
-        g.onActivate(0, 7, 0, i);
+        g.commitAct(0, 7, 0, i);
     EXPECT_EQ(host.vrrs, 1u);
     for (unsigned i = 0; i + 1 < g.refreshThreshold(); ++i)
-        g.onActivate(1, 7, 0, i);
+        g.commitAct(1, 7, 0, i);
     EXPECT_EQ(host.vrrs, 1u); // Bank 1's counter is separate.
 }
 
@@ -208,7 +208,7 @@ TEST(TwiceTest, TriggersAtThreshold)
     Twice tw(1024, spec);
     tw.setHost(&host);
     for (unsigned i = 0; i < tw.triggerThreshold(); ++i)
-        tw.onActivate(2, 9, 0, i);
+        tw.commitAct(2, 9, 0, i);
     EXPECT_EQ(host.vrrs, 1u);
     EXPECT_EQ(host.lastVrrBank, 2u);
 }
@@ -219,7 +219,7 @@ TEST(TwiceTest, PrunesColdEntries)
     RecordingHost host;
     Twice tw(1024, spec);
     tw.setHost(&host);
-    tw.onActivate(0, 5, 0, 0); // One lonely activation.
+    tw.commitAct(0, 5, 0, 0); // One lonely activation.
     EXPECT_EQ(tw.tableSize(0), 1u);
     // Many pruning periods with no further activity.
     for (int i = 0; i < 64; ++i)
@@ -237,7 +237,7 @@ TEST(HydraTest, GroupEscalationThenRowTrigger)
     // counter (initialized at the group count) rises to the row threshold.
     unsigned acts_needed = hy.rowThreshold();
     for (unsigned i = 0; i < acts_needed; ++i)
-        hy.onActivate(0, 100, 0, i);
+        hy.commitAct(0, 100, 0, i);
     EXPECT_EQ(host.vrrs, 1u);
     // Escalated tracking performed RCT accesses (RCC cold miss >= 1).
     EXPECT_GE(host.trackerAccesses, 1u);
@@ -254,11 +254,11 @@ TEST(HydraTest, GroupCounterSharedAcrossRows)
     // group escalates, both rows' counters start at the group count.
     unsigned gt = hy.groupThreshold();
     for (unsigned i = 0; i < gt; ++i)
-        hy.onActivate(0, i % 2, 0, i);
+        hy.commitAct(0, i % 2, 0, i);
     // Now each row needs only (rowTh - groupTh) more activations.
     unsigned more = hy.rowThreshold() - gt;
     for (unsigned i = 0; i < more; ++i)
-        hy.onActivate(0, 0, 0, 1000 + i);
+        hy.commitAct(0, 0, 0, 1000 + i);
     EXPECT_EQ(host.vrrs, 1u);
 }
 
@@ -269,7 +269,7 @@ TEST(AquaTest, MigratesAtThreshold)
     Aqua aq(1024, spec);
     aq.setHost(&host);
     for (unsigned i = 0; i < aq.migrationThreshold(); ++i)
-        aq.onActivate(0, 11, 0, i);
+        aq.commitAct(0, 11, 0, i);
     EXPECT_EQ(host.migrations, 1u);
     EXPECT_EQ(aq.migrations(), 1u);
 }
@@ -290,7 +290,7 @@ TEST(RegaTest, DirectScoreEveryRegaT)
     Rega rega(1024, 4);
     rega.setHost(&host);
     for (unsigned i = 0; i < rega.scorePeriod() * 3; ++i)
-        rega.onActivate(0, 1, 2, i);
+        rega.commitAct(0, 1, 2, i);
     EXPECT_DOUBLE_EQ(host.directScores[2], 3.0);
     EXPECT_EQ(host.directScores.count(0), 0u);
 }
@@ -302,7 +302,7 @@ TEST(RfmTest, IssuesRfmEveryRaaimt)
     Rfm rfm(1024, spec);
     rfm.setHost(&host);
     for (unsigned i = 0; i < rfm.raaimt() * 3; ++i)
-        rfm.onActivate(0, i % 50, 0, i);
+        rfm.commitAct(0, i % 50, 0, i);
     EXPECT_EQ(host.rfms, 3u);
 }
 
@@ -315,7 +315,7 @@ TEST(RfmTest, ServicesHotRowDuringRfm)
     // Hammer one row exclusively: after serviceThreshold activations the
     // next RFM must protect it.
     for (unsigned i = 0; i < rfm.serviceThreshold() + rfm.raaimt(); ++i)
-        rfm.onActivate(0, 33, 0, i);
+        rfm.commitAct(0, 33, 0, i);
     EXPECT_GE((host.protectedRows[{0u, 33u}]), 1u);
 }
 
@@ -326,9 +326,9 @@ TEST(PracTest, AlertAtThreshold)
     Prac prac(1024, spec);
     prac.setHost(&host);
     for (unsigned i = 0; i + 1 < prac.alertThreshold(); ++i)
-        prac.onActivate(0, 77, 0, i);
+        prac.commitAct(0, 77, 0, i);
     EXPECT_EQ(host.alerts, 0u);
-    prac.onActivate(0, 77, 0, 999);
+    prac.commitAct(0, 77, 0, 999);
     EXPECT_EQ(host.alerts, 1u);
     EXPECT_EQ(host.aboRfms, 4u);
     EXPECT_GE((host.protectedRows[{0u, 77u}]), 1u);
@@ -364,13 +364,67 @@ TEST(BlockHammerTest, BlacklistsAndDelays)
     BlockHammer bh(1024, spec, 4);
     Cycle now = 0;
     for (unsigned i = 0; i < bh.blacklistThreshold(); ++i)
-        bh.onActivate(0, 5, 0, now++);
+        bh.commitAct(0, 5, 0, now++);
     // Row 5 is blacklisted: its next ACT is pushed out by tDelay.
-    Cycle release = bh.actReleaseCycle(0, 5, 0, now);
+    Cycle release = bh.probeActReleaseCycle(0, 5, 0, now);
     EXPECT_GE(release, now + bh.blacklistDelay() / 2);
     // Another row is unaffected.
-    EXPECT_EQ(bh.actReleaseCycle(0, 6, 0, now), now);
+    EXPECT_EQ(bh.probeActReleaseCycle(0, 6, 0, now), now);
     EXPECT_GT(bh.blacklistedActs(), 0u);
+}
+
+TEST(BlockHammerTest, ProbeIsIdempotentAcrossEpochBoundary)
+{
+    // The probe/commit contract: N probes followed by one commit must be
+    // indistinguishable from one probe followed by one commit — probes
+    // are pure queries and never roll the epoch, even when asked about
+    // cycles past the boundary.
+    DramSpec spec = DramSpec::ddr5();
+    unsigned n_rh = 64;
+    BlockHammer probed(n_rh, spec, 4);
+    BlockHammer reference(n_rh, spec, 4);
+
+    // Blacklist row 5 in both instances with an identical commit stream.
+    Cycle now = 0;
+    for (unsigned i = 0; i < probed.blacklistThreshold(); ++i) {
+        probed.commitAct(0, 5, 0, now);
+        reference.commitAct(0, 5, 0, now);
+        ++now;
+    }
+    Cycle boundary = probed.nextTimedEventCycle(now);
+    ASSERT_EQ(boundary, reference.nextTimedEventCycle(now));
+    ASSERT_GT(boundary, now);
+
+    // Hammer one instance with probes — repeated, out of row order, and
+    // at cycles on both sides of the epoch boundary; leave the other one
+    // alone. None of it may perturb state.
+    for (Cycle c : {now, now + 1, boundary - 1, boundary, boundary + 7}) {
+        for (int rep = 0; rep < 3; ++rep) {
+            probed.probeActReleaseCycle(0, 5, 0, c);
+            probed.probeActReleaseCycle(0, 6, 0, c);
+            probed.probeActReleaseCycle(1, 5, 0, c);
+        }
+    }
+    for (Cycle c : {now, boundary - 1, boundary + 7}) {
+        EXPECT_EQ(probed.probeActReleaseCycle(0, 5, 0, c),
+                  reference.probeActReleaseCycle(0, 5, 0, c));
+    }
+    // Before the boundary the blacklisted row is delayed; a probe at the
+    // boundary reports it released (the roll clears the delay).
+    EXPECT_GT(probed.probeActReleaseCycle(0, 5, 0, now), now);
+    EXPECT_LE(probed.probeActReleaseCycle(0, 5, 0, boundary), boundary);
+
+    // One commit after all that probing lands identically in both.
+    Cycle after = boundary + 16;
+    probed.advanceTo(after);
+    reference.advanceTo(after);
+    probed.commitAct(0, 5, 0, after);
+    reference.commitAct(0, 5, 0, after);
+    EXPECT_EQ(probed.blacklistedActs(), reference.blacklistedActs());
+    EXPECT_EQ(probed.probeActReleaseCycle(0, 5, 0, after),
+              reference.probeActReleaseCycle(0, 5, 0, after));
+    EXPECT_EQ(probed.nextTimedEventCycle(after),
+              reference.nextTimedEventCycle(after));
 }
 
 TEST(BlockHammerTest, DelayEnforcesSafeRate)

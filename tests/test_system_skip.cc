@@ -49,10 +49,15 @@ mixConfig(const char *pattern, MitigationType mech, unsigned n_rh,
     return cfg;
 }
 
-/** Three mixes spanning the interesting regimes: a benign mix under a
+/** Five mixes spanning the interesting regimes: a benign mix under a
  *  maintenance-heavy mechanism, an attack mix with BreakHammer throttling
- *  (reject-blocked attacker, batched stall accounting), and an attack mix
- *  whose mechanism issues rank-wide blackouts (PRAC alert back-off). */
+ *  (reject-blocked attacker, batched stall accounting), an attack mix
+ *  whose mechanism issues rank-wide blackouts (PRAC alert back-off), and
+ *  two ACT-delaying BlockHammer regimes — the same mixes the Graphene and
+ *  PRAC rows use, one at moderate N_RH and one at low N_RH where the
+ *  RowBlocker delays benign rows too, so epoch rollovers, blacklist
+ *  delays, and AttackThrottler quota resets all fire inside the skip
+ *  window. */
 std::vector<ExperimentConfig>
 skipGrid()
 {
@@ -60,6 +65,8 @@ skipGrid()
         mixConfig("HHMM", MitigationType::kHydra, 512, false),
         mixConfig("HHMA", MitigationType::kGraphene, 512, true),
         mixConfig("LLLA", MitigationType::kPrac, 256, true),
+        mixConfig("HHMA", MitigationType::kBlockHammer, 512, false),
+        mixConfig("LLLA", MitigationType::kBlockHammer, 128, false),
     };
 }
 
