@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,7 +49,13 @@ usage()
         "                append new ones (merge stores with cat)\n"
         "  --shard=I/N   compute only shard I of N (1-based, by content\n"
         "                address) and skip rendering; combine with "
-        "--store\n\n"
+        "--store\n"
+        "  --checkpoint-every=N[c]\n"
+        "                with --store: snapshot each running simulation\n"
+        "                every N retired instructions (or N cycles with\n"
+        "                the 'c' suffix) into <store>/snapshots; a killed\n"
+        "                run restarted with the same flags resumes from\n"
+        "                its snapshots bit-identically\n\n"
         "scale knobs (environment): BH_INSTS, BH_MIXES, BH_FULL\n");
 }
 
@@ -107,6 +114,8 @@ main(int argc, char **argv)
     unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
     std::string json_path;
     std::string store_dir;
+    std::uint64_t checkpoint_insts = 0;
+    std::uint64_t checkpoint_cycles = 0;
     unsigned shard_index = 0, shard_count = 0;
     bool run_all = false;
     std::vector<std::string> names;
@@ -156,6 +165,27 @@ main(int argc, char **argv)
                              "error: --store wants a directory path\n");
                 return 2;
             }
+        } else if (flag_value(arg, "--checkpoint-every", &i, &value)) {
+            std::string text = value;
+            bool in_cycles = false;
+            if (!text.empty() &&
+                (text.back() == 'c' || text.back() == 'C')) {
+                in_cycles = true;
+                text.pop_back();
+            }
+            std::uint64_t parsed = 0;
+            if (!parsePositiveU64(text.c_str(), &parsed)) {
+                std::fprintf(stderr,
+                             "error: --checkpoint-every wants a positive "
+                             "integer instruction count (or cycles with "
+                             "a 'c' suffix), got \"%s\"\n",
+                             value);
+                return 2;
+            }
+            if (in_cycles)
+                checkpoint_cycles = parsed;
+            else
+                checkpoint_insts = parsed;
         } else if (flag_value(arg, "--shard", &i, &value)) {
             if (!parseShardSpec(value, &shard_index, &shard_count)) {
                 std::fprintf(stderr,
@@ -209,6 +239,30 @@ main(int argc, char **argv)
             std::fprintf(stderr, "error: %s\n", error.c_str());
             return 2;
         }
+    }
+    if (checkpoint_insts || checkpoint_cycles) {
+        // Snapshots ride the store directory: resuming needs the same
+        // records the interrupted run already streamed out.
+        if (store_dir.empty()) {
+            std::fprintf(stderr,
+                         "error: --checkpoint-every requires --store "
+                         "(snapshots live in <store>/snapshots)\n");
+            return 2;
+        }
+        CheckpointSpec spec;
+        spec.dir = store_dir + "/snapshots";
+        spec.everyInsts = checkpoint_insts;
+        spec.everyCycles = checkpoint_cycles;
+        std::error_code ec;
+        std::filesystem::create_directories(spec.dir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "error: cannot create snapshot directory %s: "
+                         "%s\n",
+                         spec.dir.c_str(), ec.message().c_str());
+            return 2;
+        }
+        setCheckpointSpec(spec);
     }
     if (shard_count) {
         store.setShard(shard_index, shard_count);

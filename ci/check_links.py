@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Check that intra-repo markdown links resolve.
+"""Check that intra-repo markdown links (and their anchors) resolve.
 
 Scans every tracked *.md file (skipping build directories), extracts
 inline links/images `[text](target)`, and verifies that each relative
-target exists on disk (anchors are stripped; `#section` fragments are not
-validated against headings). External schemes (http/https/mailto) are
-ignored. Prints every broken link and exits non-zero if any.
+target exists on disk. `#section` fragments — both same-file (`#x`) and
+cross-file (`other.md#x`) — are validated against the target document's
+headings using GitHub's anchor derivation (lowercase, punctuation
+stripped, spaces to hyphens, duplicate anchors suffixed -1, -2, ...).
+External schemes (http/https/mailto) are ignored. Prints every broken
+link and exits non-zero if any.
 
 Stdlib only — no pip dependencies.
 """
@@ -20,6 +23,7 @@ SKIP_DIRS = {"build", ".git", ".github"}
 # Inline links and images; [text](target "title") titles are stripped.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 
 # Fenced code blocks often contain example paths that are not links.
 FENCE_RE = re.compile(r"^(```|~~~)")
@@ -32,7 +36,7 @@ def markdown_files():
         yield path
 
 
-def links_of(path: pathlib.Path):
+def non_fence_lines(path: pathlib.Path):
     in_fence = False
     for lineno, line in enumerate(path.read_text().splitlines(), 1):
         if FENCE_RE.match(line.strip()):
@@ -40,30 +44,79 @@ def links_of(path: pathlib.Path):
             continue
         if in_fence:
             continue
+        yield lineno, line
+
+
+def links_of(path: pathlib.Path):
+    for lineno, line in non_fence_lines(path):
         for match in LINK_RE.finditer(line):
             yield lineno, match.group(1)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> fragment derivation (punctuation dropped)."""
+    # Strip inline code/emphasis markers and links before slugging.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path):
+    """All valid fragments of a document (duplicates get -N suffixes)."""
+    seen = {}
+    anchors = set()
+    for _, line in non_fence_lines(path):
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_anchor(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
 
 
 def main() -> int:
     broken = []
     checked = 0
+    anchor_cache = {}
+
+    def anchors(md_path: pathlib.Path):
+        if md_path not in anchor_cache:
+            anchor_cache[md_path] = anchors_of(md_path)
+        return anchor_cache[md_path]
+
     for md in markdown_files():
         for lineno, target in links_of(md):
             if EXTERNAL_RE.match(target):
                 continue  # http(s)/mailto/etc.
-            path_part = target.split("#", 1)[0]
-            if not path_part:
-                continue  # Pure anchor into the same file.
-            checked += 1
-            resolved = (md.parent / path_part).resolve()
-            if not resolved.exists():
-                broken.append(
-                    f"{md.relative_to(REPO)}:{lineno}: broken link "
-                    f"'{target}' -> {resolved.relative_to(REPO) if resolved.is_relative_to(REPO) else resolved}"
-                )
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                checked += 1
+                resolved = (md.parent / path_part).resolve()
+                if not resolved.exists():
+                    broken.append(
+                        f"{md.relative_to(REPO)}:{lineno}: broken link "
+                        f"'{target}' -> {resolved.relative_to(REPO) if resolved.is_relative_to(REPO) else resolved}"
+                    )
+                    continue
+            else:
+                resolved = md  # Pure '#anchor' into the same file.
+            if fragment:
+                if resolved.suffix.lower() != ".md":
+                    continue  # Anchors into non-markdown: not checkable.
+                checked += 1
+                if fragment.lower() not in anchors(resolved):
+                    broken.append(
+                        f"{md.relative_to(REPO)}:{lineno}: broken anchor "
+                        f"'#{fragment}' in '{target}' (no such heading "
+                        f"in {resolved.relative_to(REPO)})"
+                    )
     for line in broken:
         print(line, file=sys.stderr)
-    print(f"check_links: {checked} intra-repo links checked, "
+    print(f"check_links: {checked} intra-repo links/anchors checked, "
           f"{len(broken)} broken")
     return 1 if broken else 0
 

@@ -114,6 +114,15 @@ class BreakHammer : public IActionObserver
      */
     Cycle nextWindowBoundary() const { return windowStart + config_.window; }
 
+    /**
+     * Serialize both counter sets, window bookkeeping, suspect flags,
+     * and quotas (mirrors the IMitigation::saveState contract).
+     */
+    void saveState(StateWriter &w) const;
+
+    /** Restore saveState() output into a same-config instance. */
+    void loadState(StateReader &r);
+
   private:
     void updateScores(double weight, Cycle now);
     void checkOutliers(Cycle now);

@@ -101,6 +101,47 @@ Llc::setDirty(Addr line_addr)
     }
 }
 
+void
+Llc::saveState(StateWriter &w) const
+{
+    w.tag("llc");
+    w.u64(sets.size());
+    for (const Set &set : sets) {
+        for (const Line &line : set.ways) {
+            w.u64(line.tag);
+            w.b(line.valid);
+            w.b(line.dirty);
+            w.u64(line.lru);
+        }
+    }
+    w.u64(lruClock);
+    w.u64(hits_);
+    w.u64(misses_);
+    w.u64(writebacks_);
+}
+
+void
+Llc::loadState(StateReader &r)
+{
+    r.tag("llc");
+    if (r.u64() != sets.size()) {
+        r.fail();
+        return;
+    }
+    for (Set &set : sets) {
+        for (Line &line : set.ways) {
+            line.tag = r.u64();
+            line.valid = r.b();
+            line.dirty = r.b();
+            line.lru = r.u64();
+        }
+    }
+    lruClock = r.u64();
+    hits_ = r.u64();
+    misses_ = r.u64();
+    writebacks_ = r.u64();
+}
+
 bool
 Llc::invalidate(Addr line_addr)
 {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 
 namespace bh {
@@ -75,6 +76,12 @@ class Llc
      * keep the counter bit-identical to the dense reference loop.
      */
     void addMisses(std::uint64_t n) { misses_ += n; }
+
+    /** Serialize tags/LRU/dirtiness and the hit/miss counters. */
+    void saveState(StateWriter &w) const;
+
+    /** Restore saveState() output into a same-geometry cache. */
+    void loadState(StateReader &r);
 
   private:
     struct Line

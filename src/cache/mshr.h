@@ -16,6 +16,7 @@
 
 #include "cache/throttle_target.h"
 #include "common/log.h"
+#include "common/snapshot.h"
 #include "common/types.h"
 
 namespace bh {
@@ -115,6 +116,12 @@ class MshrFile : public IThrottleTarget
      * retry once per skipped cycle.
      */
     void addQuotaRejections(std::uint64_t n) { quotaRejections_ += n; }
+
+    /** Serialize outstanding entries, quotas, and counters. */
+    void saveState(StateWriter &w) const;
+
+    /** Restore saveState() output into a same-capacity file. */
+    void loadState(StateReader &r);
 
   private:
     struct Entry

@@ -66,6 +66,12 @@ class Rng
         return len;
     }
 
+    /** Raw generator state (snapshot serialization). */
+    std::uint64_t rawState() const { return state; }
+
+    /** Restore a state captured by rawState(). @pre raw != 0. */
+    void setRawState(std::uint64_t raw) { state = raw ? raw : 1; }
+
   private:
     std::uint64_t state;
 };

@@ -1,0 +1,74 @@
+#include "common/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace bh {
+
+bool
+writeFileAtomic(const std::string &path, const std::string &data,
+                std::string *error)
+{
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = "cannot create " + tmp + ": " + std::strerror(errno);
+        return false;
+    }
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n <= 0) {
+            if (error)
+                *error = "short write to " + tmp + ": " +
+                         std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // Flush file contents before the rename makes them visible under the
+    // final name; a snapshot must never exist half-written. Close the fd
+    // unconditionally — short-circuiting past close() on an fsync error
+    // would leak one fd per failed checkpoint.
+    bool synced = ::fsync(fd) == 0;
+    bool closed = ::close(fd) == 0;
+    if (!synced || !closed) {
+        if (error)
+            *error = "cannot flush " + tmp + ": " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error)
+            *error = "cannot rename " + tmp + " to " + path + ": " +
+                     std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    out->clear();
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out->append(buf, n);
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace bh

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 #include "trace/trace.h"
 
@@ -124,6 +125,12 @@ class Core
 
     /** Memory accesses issued (loads + stores). */
     std::uint64_t memoryAccesses() const { return memAccesses; }
+
+    /** Serialize the core's mutable pipeline state (not the config). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore saveState() output into a same-config core. */
+    void loadState(StateReader &r);
 
   private:
     struct WindowEntry

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 #include "dram/spec.h"
 
@@ -81,6 +82,34 @@ class EnergyAccounting
     {
         acts_ = reads_ = writes_ = refs_ = rfms_ = victimRows_ =
             migrations_ = 0;
+    }
+
+    /** Serialize the event counters (params stay constructor-set). */
+    void
+    saveState(StateWriter &w) const
+    {
+        w.tag("energy");
+        w.u64(acts_);
+        w.u64(reads_);
+        w.u64(writes_);
+        w.u64(refs_);
+        w.u64(rfms_);
+        w.u64(victimRows_);
+        w.u64(migrations_);
+    }
+
+    /** Restore saveState() output. */
+    void
+    loadState(StateReader &r)
+    {
+        r.tag("energy");
+        acts_ = r.u64();
+        reads_ = r.u64();
+        writes_ = r.u64();
+        refs_ = r.u64();
+        rfms_ = r.u64();
+        victimRows_ = r.u64();
+        migrations_ = r.u64();
     }
 
   private:

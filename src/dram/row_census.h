@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 
 namespace bh {
@@ -80,6 +81,45 @@ class RowCensus
             (static_cast<std::uint64_t>(flat_bank) << 32) | row;
         auto it = counts.find(key);
         return it == counts.end() ? 0 : it->second;
+    }
+
+    /** Serialize the open window and all completed summaries. */
+    void
+    saveState(StateWriter &w) const
+    {
+        w.tag("census");
+        w.u64(windowStart);
+        w.u64(actsInWindow);
+        saveUnorderedMap(
+            w, counts, [](StateWriter &sw, std::uint64_t k) { sw.u64(k); },
+            [](StateWriter &sw, std::uint32_t v) { sw.u32(v); });
+        saveVector(w, windows_,
+                   [](StateWriter &sw, const WindowSummary &s) {
+                       sw.u64(s.totalActs);
+                       sw.u64(s.rows512);
+                       sw.u64(s.rows128);
+                       sw.u64(s.rows64);
+                   });
+    }
+
+    /** Restore saveState() output. */
+    void
+    loadState(StateReader &r)
+    {
+        r.tag("census");
+        windowStart = r.u64();
+        actsInWindow = r.u64();
+        loadUnorderedMap(
+            r, &counts,
+            [](StateReader &sr, std::uint64_t *k) { *k = sr.u64(); },
+            [](StateReader &sr, std::uint32_t *v) { *v = sr.u32(); });
+        loadVector(r, &windows_,
+                   [](StateReader &sr, WindowSummary *s) {
+                       s->totalActs = sr.u64();
+                       s->rows512 = sr.u64();
+                       s->rows128 = sr.u64();
+                       s->rows64 = sr.u64();
+                   });
     }
 
   private:

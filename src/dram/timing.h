@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 #include "dram/energy.h"
 #include "dram/spec.h"
@@ -153,6 +154,12 @@ class TimingEngine
     const EnergyAccounting &energy() const { return energy_; }
 
     const DramSpec &spec() const { return spec_; }
+
+    /** Serialize bank/rank/bus timing state and energy counters. */
+    void saveState(StateWriter &w) const;
+
+    /** Restore saveState() output into a same-spec engine. */
+    void loadState(StateReader &r);
 
   private:
     bool actAllowedByRank(const RankState &rank, unsigned bank_group,

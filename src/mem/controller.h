@@ -39,6 +39,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 #include "dram/address.h"
 #include "dram/timing.h"
@@ -95,6 +96,14 @@ class BankedRequestQueue
 
     /** Non-empty banks, unordered (candidates compare by seq anyway). */
     const std::vector<unsigned> &activeBanks() const { return active_; }
+
+    /** Serialize the per-bank FIFOs and the global sequence counter. */
+    void saveState(StateWriter &w,
+                   void (*save_req)(StateWriter &, const Request &)) const;
+
+    /** Restore saveState() output into a same-bank-count queue. */
+    void loadState(StateReader &r,
+                   void (*load_req)(StateReader &, Request *));
 
     void
     push(const Request &req)
@@ -226,6 +235,17 @@ class MemoryController : public IMitigationHost
     std::uint64_t writesServed() const { return writesServed_; }
     std::size_t readQueueDepth() const { return readQ.size(); }
     std::size_t writeQueueDepth() const { return writeQ.size(); }
+
+    /**
+     * Serialize the controller's complete mutable state: queues,
+     * maintenance ops, in-flight completions, refresh bookkeeping,
+     * drain/cap/command-slot state, counters, and the timing engine.
+     * The mitigation mechanism serializes separately (System owns it).
+     */
+    void saveState(StateWriter &w) const;
+
+    /** Restore saveState() output into a same-config controller. */
+    void loadState(StateReader &r);
 
   private:
     /** One pending RowHammer-preventive maintenance operation. */

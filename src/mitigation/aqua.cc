@@ -33,4 +33,29 @@ Aqua::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
     }
 }
 
+void
+Aqua::saveState(StateWriter &w) const
+{
+    w.tag("aqua");
+    w.u64(lastReset);
+    w.u64(migrations_);
+    w.u64(tables.size());
+    for (const MisraGries &t : tables)
+        t.saveState(w);
+}
+
+void
+Aqua::loadState(StateReader &r)
+{
+    r.tag("aqua");
+    lastReset = r.u64();
+    migrations_ = r.u64();
+    if (r.u64() != tables.size()) {
+        r.fail();
+        return;
+    }
+    for (MisraGries &t : tables)
+        t.loadState(r);
+}
+
 } // namespace bh

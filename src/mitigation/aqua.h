@@ -32,6 +32,9 @@ class Aqua : public IMitigation
     void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
     unsigned migrationThreshold() const { return threshold; }
     std::uint64_t migrations() const { return migrations_; }
 

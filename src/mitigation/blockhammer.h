@@ -56,6 +56,28 @@ class CountingBloomFilter
 
     void clear() { std::fill(counters.begin(), counters.end(), 0); }
 
+    /** Serialize the counter array. */
+    void
+    saveState(StateWriter &w) const
+    {
+        w.tag("cbf");
+        saveU32Vector(w, counters);
+    }
+
+    /** Restore saveState() output into a same-geometry filter. */
+    void
+    loadState(StateReader &r)
+    {
+        r.tag("cbf");
+        std::vector<std::uint32_t> c;
+        loadU32Vector(r, &c);
+        if (!r.ok() || c.size() != counters.size()) {
+            r.fail();
+            return;
+        }
+        counters = std::move(c);
+    }
+
   private:
     std::size_t
     slot(std::uint64_t key, unsigned h) const
@@ -105,6 +127,9 @@ class BlockHammer : public IMitigation
 
     /** Attach the AttackThrottler's resource target (optional). */
     void setThrottleTarget(IThrottleTarget *t) { throttleTarget = t; }
+
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     unsigned blacklistThreshold() const { return nbl; }
     Cycle blacklistDelay() const { return tDelay; }

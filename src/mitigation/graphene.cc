@@ -34,4 +34,27 @@ Graphene::commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
     }
 }
 
+void
+Graphene::saveState(StateWriter &w) const
+{
+    w.tag("graphene");
+    w.u64(lastReset);
+    w.u64(tables.size());
+    for (const MisraGries &t : tables)
+        t.saveState(w);
+}
+
+void
+Graphene::loadState(StateReader &r)
+{
+    r.tag("graphene");
+    lastReset = r.u64();
+    if (r.u64() != tables.size()) {
+        r.fail();
+        return;
+    }
+    for (MisraGries &t : tables)
+        t.loadState(r);
+}
+
 } // namespace bh

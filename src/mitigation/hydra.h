@@ -35,6 +35,9 @@ class Hydra : public IMitigation
     void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
     unsigned rowThreshold() const { return rowTh; }
     unsigned groupThreshold() const { return groupTh; }
     std::uint64_t rccMisses() const { return rccMisses_; }

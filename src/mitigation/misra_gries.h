@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "common/log.h"
+#include "common/snapshot.h"
 
 namespace bh {
 
@@ -89,6 +90,35 @@ class MisraGries
 
     std::size_t trackedRows() const { return table.size(); }
     unsigned capacity() const { return capacity_; }
+
+    /**
+     * Serialize the summary. Iteration order is part of the state here:
+     * reclaimOne() erases the first stale entry an iteration finds, so
+     * the table's bucket structure must survive the round trip
+     * (saveUnorderedMap/loadUnorderedMap guarantee that).
+     */
+    void
+    saveState(StateWriter &w) const
+    {
+        w.tag("misra_gries");
+        w.u64(offset);
+        saveUnorderedMap(
+            w, table,
+            [](StateWriter &sw, std::uint64_t k) { sw.u64(k); },
+            [](StateWriter &sw, std::uint64_t v) { sw.u64(v); });
+    }
+
+    /** Restore saveState() output into a same-capacity summary. */
+    void
+    loadState(StateReader &r)
+    {
+        r.tag("misra_gries");
+        offset = r.u64();
+        loadUnorderedMap(
+            r, &table,
+            [](StateReader &sr, std::uint64_t *k) { *k = sr.u64(); },
+            [](StateReader &sr, std::uint64_t *v) { *v = sr.u64(); });
+    }
 
   private:
     /** Erase one stale entry if any exists (amortized by full scan). */

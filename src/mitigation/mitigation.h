@@ -30,6 +30,7 @@
  */
 #pragma once
 
+#include "common/snapshot.h"
 #include "common/types.h"
 
 namespace bh {
@@ -189,6 +190,21 @@ class IMitigation
      * any probe.
      */
     virtual bool delaysActs() const { return false; }
+
+    /**
+     * Serialize the mechanism's complete mutable tracking state (the
+     * snapshot dual of the probe/commit contract: everything commitAct /
+     * advanceTo / onPeriodicRefresh can mutate, nothing derived from the
+     * constructor arguments). A mechanism restored by loadState() into a
+     * same-config instance must behave bit-identically to the original
+     * from that point on — including hash-table iteration order where a
+     * mechanism's decisions depend on it (see common/snapshot.h). The
+     * default is for stateless mechanisms: nothing to save.
+     */
+    virtual void saveState(StateWriter &w) const { (void)w; }
+
+    /** Restore saveState() output into a same-config instance. */
+    virtual void loadState(StateReader &r) { (void)r; }
 
     /** Attach the host before simulation starts. */
     void setHost(IMitigationHost *h) { host = h; }

@@ -31,6 +31,9 @@ class Para : public IMitigation
     void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
     /** The configured refresh probability. */
     double probability() const { return p; }
 

@@ -34,6 +34,9 @@ class Rega : public IMitigation
     void commitAct(unsigned flat_bank, unsigned row, ThreadId thread,
                     Cycle now) override;
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
     unsigned scorePeriod() const { return regaT; }
 
   private:

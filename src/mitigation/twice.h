@@ -33,6 +33,9 @@ class Twice : public IMitigation
     void onPeriodicRefresh(unsigned rank, unsigned sweep_start,
                            unsigned sweep_rows, Cycle now) override;
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
     unsigned triggerThreshold() const { return threshold; }
 
     /** Tracked entries in one bank's table (for cost comparisons). */

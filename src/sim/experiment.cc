@@ -2,10 +2,14 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <utility>
 
 #include "common/env.h"
+#include "common/log.h"
+#include "common/snapshot.h"
+#include "sim/result_store.h"
 #include "stats/json_stats.h"
 #include "stats/metrics.h"
 
@@ -42,6 +46,20 @@ soloSinkOwner()
 {
     static const void *owner = nullptr;
     return owner;
+}
+
+std::mutex &
+checkpointMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+CheckpointSpec &
+checkpointSpecStorage()
+{
+    static CheckpointSpec spec;
+    return spec;
 }
 
 } // namespace
@@ -158,6 +176,31 @@ resolveExperimentConfig(const ExperimentConfig &config)
     return resolved;
 }
 
+void
+setCheckpointSpec(const CheckpointSpec &spec)
+{
+    std::lock_guard<std::mutex> lock(checkpointMutex());
+    checkpointSpecStorage() = spec;
+}
+
+CheckpointSpec
+checkpointSpec()
+{
+    std::lock_guard<std::mutex> lock(checkpointMutex());
+    return checkpointSpecStorage();
+}
+
+std::string
+snapshotPath(const std::string &dir, const ExperimentConfig &config)
+{
+    std::string key = experimentKey(resolveExperimentConfig(config));
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.snap",
+                  static_cast<unsigned long long>(
+                      fnv1a64(key.data(), key.size())));
+    return dir + "/" + name;
+}
+
 ExperimentResult
 runExperiment(const ExperimentConfig &config)
 {
@@ -179,9 +222,43 @@ runExperiment(const ExperimentConfig &config)
     // The cycle cap bounds pathological configurations (e.g., BlockHammer
     // at N_RH = 64); capped runs report progress IPC, which is the right
     // measure for a workload that cannot finish.
-    System system(sys, cfg.mix.slots);
+    auto system = std::make_unique<System>(sys, cfg.mix.slots);
+
+    CheckpointSpec ckpt = checkpointSpec();
+    std::string snap_path;
+    if (ckpt.enabled()) {
+        // The identity ties a snapshot to the exact simulation semantics:
+        // the experiment content address plus the store schema version,
+        // which is bumped whenever results become non-reproducible. A
+        // stale snapshot therefore falls back to recompute, exactly like
+        // a stale store record.
+        System::CheckpointConfig cc;
+        snap_path = snapshotPath(ckpt.dir, cfg);
+        cc.path = snap_path;
+        cc.everyInsts = ckpt.everyInsts;
+        cc.everyCycles = ckpt.everyCycles;
+        cc.identity = experimentKey(cfg) + "|store_schema=" +
+                      std::to_string(ResultStore::kSchemaVersion);
+        system->setCheckpoint(cc);
+        std::string resume_error;
+        if (!system->resumeFromSnapshot(snap_path, &resume_error)) {
+            BH_LOG("snapshot %s: %s; computing from scratch",
+                   snap_path.c_str(), resume_error.c_str());
+            // A failed resume may leave partially loaded state behind;
+            // rebuild the System so the cold run starts clean.
+            system = std::make_unique<System>(sys, cfg.mix.slots);
+            system->setCheckpoint(cc);
+        }
+    }
+
     ExperimentResult out;
-    out.raw = system.run(insts, insts * 150);
+    out.raw = system->run(insts, insts * 150);
+    if (!snap_path.empty()) {
+        // Completed: the snapshot is stale. A SIGKILL mid-save can also
+        // orphan the atomic-write temp file; sweep it too.
+        std::remove(snap_path.c_str());
+        std::remove((snap_path + ".tmp").c_str());
+    }
 
     std::vector<double> shared = out.raw.benignIpcs();
     std::vector<double> alone;

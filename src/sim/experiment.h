@@ -108,6 +108,41 @@ void clearSoloIpcSink(const void *owner);
  */
 ExperimentConfig resolveExperimentConfig(const ExperimentConfig &config);
 
+/**
+ * Mid-run checkpointing policy for runExperiment(). When enabled, every
+ * experiment simulation periodically saves a full System snapshot under
+ * @p dir (one content-addressed file per experiment point) and, before
+ * simulating from scratch, tries to resume from an existing snapshot —
+ * so a killed sweep restarted with the same flags loses at most one
+ * checkpoint interval of the point it was in, instead of the whole
+ * point. Snapshots are deleted when their run completes. Resume is
+ * bit-exact: the completed run's results are byte-identical to an
+ * uninterrupted run (CI enforces this). Solo-IPC runs are short and are
+ * not checkpointed.
+ */
+struct CheckpointSpec
+{
+    std::string dir;              ///< Snapshot directory; empty = off.
+    std::uint64_t everyInsts = 0; ///< Cadence in retired instructions.
+    Cycle everyCycles = 0;        ///< Cadence in cycles.
+
+    bool
+    enabled() const
+    {
+        return !dir.empty() && (everyInsts > 0 || everyCycles > 0);
+    }
+};
+
+/** Install the process-wide checkpoint policy (thread-safe). */
+void setCheckpointSpec(const CheckpointSpec &spec);
+
+/** The current process-wide checkpoint policy. */
+CheckpointSpec checkpointSpec();
+
+/** Snapshot file of @p config (resolved) inside checkpoint dir @p dir. */
+std::string snapshotPath(const std::string &dir,
+                         const ExperimentConfig &config);
+
 /** Run one experiment point and compute its metrics. */
 ExperimentResult runExperiment(const ExperimentConfig &config);
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 #include "dram/spec.h"
 
@@ -72,6 +73,31 @@ class HammerOracle
     std::uint32_t maxCount() const { return maxCount_; }
 
     unsigned threshold() const { return nRh; }
+
+    /** Serialize the per-row counts and the verdict counters. */
+    void
+    saveState(StateWriter &w) const
+    {
+        w.tag("oracle");
+        saveUnorderedMap(
+            w, counts, [](StateWriter &sw, std::uint64_t k) { sw.u64(k); },
+            [](StateWriter &sw, std::uint32_t v) { sw.u32(v); });
+        w.u64(violations_);
+        w.u64(maxCount_);
+    }
+
+    /** Restore saveState() output. */
+    void
+    loadState(StateReader &r)
+    {
+        r.tag("oracle");
+        loadUnorderedMap(
+            r, &counts,
+            [](StateReader &sr, std::uint64_t *k) { *k = sr.u64(); },
+            [](StateReader &sr, std::uint32_t *v) { *v = sr.u32(); });
+        violations_ = r.u64();
+        maxCount_ = static_cast<std::uint32_t>(r.u64());
+    }
 
   private:
     static std::uint64_t

@@ -100,14 +100,35 @@ ResultStore::loadFile(const std::string &path)
         std::string parse_error;
         if (!JsonValue::parse(line, &rec, &parse_error) ||
             !rec.isObject()) {
-            // Torn or malformed line (e.g. a crashed writer's tail):
-            // recompute its point rather than fail the whole store.
-            std::fprintf(stderr,
-                         "result store: skipping malformed line %zu of "
-                         "%s\n",
-                         line_no, path.c_str());
-            ++counters.skipped;
-            continue;
+            // Torn or malformed line. A crashed writer's torn record has
+            // no trailing newline, so the next append — a perfectly valid
+            // record — lands on the same physical line and would be lost
+            // with it. Recover it: scan for an embedded record start and
+            // parse the suffix, skipping only the torn prefix.
+            bool recovered = false;
+            for (std::size_t pos = line.find("{\"v\":", 1);
+                 pos != std::string::npos;
+                 pos = line.find("{\"v\":", pos + 1)) {
+                JsonValue tail;
+                if (JsonValue::parse(line.substr(pos), &tail) &&
+                    tail.isObject()) {
+                    std::fprintf(stderr,
+                                 "result store: recovered a record fused "
+                                 "to a torn write on line %zu of %s\n",
+                                 line_no, path.c_str());
+                    rec = std::move(tail);
+                    recovered = true;
+                    break;
+                }
+            }
+            ++counters.skipped; // The torn prefix (or the whole line).
+            if (!recovered) {
+                std::fprintf(stderr,
+                             "result store: skipping malformed line %zu "
+                             "of %s\n",
+                             line_no, path.c_str());
+                continue;
+            }
         }
         const JsonValue *version = rec.find("v");
         const JsonValue *kind = rec.find("kind");

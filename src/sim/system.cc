@@ -1,9 +1,11 @@
 #include "sim/system.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/env.h"
 #include "common/log.h"
+#include "common/snapshot.h"
 #include "mitigation/blockhammer.h"
 
 namespace bh {
@@ -13,12 +15,12 @@ namespace {
 /** MSHR key space for uncached requests (disjoint from line addresses). */
 constexpr Addr kUncachedKeyBase = 1ull << 63;
 
-/**
- * Cadence of the idle-path BreakHammer rollWindows call in System::run.
- * The skip-ahead wake-up for window boundaries rounds up to this same
- * grid — the two sites must never drift apart.
- */
-constexpr Cycle kRollPeriodMask = 0xfff;
+/** Leading bytes of every snapshot file. */
+constexpr char kSnapshotMagic[] = "BHSNAP01";
+
+static_assert(((System::kRollPeriodMask + 1) &
+               System::kRollPeriodMask) == 0,
+              "the roll cadence must be a power-of-two grid");
 
 Addr
 lineOf(Addr addr)
@@ -43,7 +45,8 @@ System::System(const SystemConfig &config,
     : config_(config),
       mapper(config.spec.org),
       llc(config.llc),
-      mshr(config.mshrEntries, config.numCores)
+      mshr(config.mshrEntries, config.numCores),
+      slots_(slots)
 {
     BH_ASSERT(slots.size() == config.numCores,
               "one workload slot per core required");
@@ -300,12 +303,12 @@ System::nextWakeCycle() const
     for (const auto &core : cores)
         wake = std::min(wake, core->nextEventCycle(now));
     if (bh) {
-        // The dense loop only calls rollWindows at kRollPeriodMask+1
-        // marks, so the next effective boundary is the first such mark
-        // at or after the window end.
+        // The dense loop only calls rollWindows at roll-grid marks, so
+        // the next effective boundary is the first such mark at or after
+        // the window end (same grid as isRollCycle — structurally, via
+        // the shared helpers).
         Cycle at = std::max(now + 1, bh->nextWindowBoundary());
-        at = (at + kRollPeriodMask) & ~kRollPeriodMask;
-        wake = std::min(wake, at);
+        wake = std::min(wake, nextRollCycleAtOrAfter(at));
     }
     return std::max(wake, now + 1);
 }
@@ -340,11 +343,68 @@ System::run(std::uint64_t benign_target, Cycle max_cycles)
     // the mechanism's next release/epoch-boundary cycle.
     const bool dense = envFlag("BH_DENSE_TICK");
 
-    if (!dense)
-        fillRejectSnapshot(&prevSnap);
+    if (resumePending_) {
+        // A restored snapshot re-enters the loop exactly where the
+        // interrupted run left it: `now`, the skip loop's prevSnap, and
+        // every component came from loadState(). Saving is side-effect-
+        // free, so from here on the trajectory is the uninterrupted one.
+        resumePending_ = false;
+    } else {
+        if (!dense)
+            fillRejectSnapshot(&prevSnap);
+        now = 0;
+    }
 
-    now = 0;
+    // Checkpoint cadence marks, armed past the current progress so a
+    // just-resumed run does not immediately re-save its own snapshot.
+    const bool ckpt_armed =
+        !checkpoint_.path.empty() &&
+        (checkpoint_.everyInsts > 0 || checkpoint_.everyCycles > 0);
+    std::uint64_t inst_mark = 0;
+    Cycle cycle_mark = 0;
+    auto min_benign_retired = [this]() {
+        std::uint64_t min_retired = UINT64_MAX;
+        for (const auto &core : cores)
+            if (core->benign())
+                min_retired = std::min(min_retired, core->retired());
+        return min_retired == UINT64_MAX ? 0 : min_retired;
+    };
+    if (ckpt_armed) {
+        if (checkpoint_.everyInsts)
+            inst_mark = (min_benign_retired() / checkpoint_.everyInsts + 1) *
+                        checkpoint_.everyInsts;
+        if (checkpoint_.everyCycles)
+            cycle_mark = (now / checkpoint_.everyCycles + 1) *
+                         checkpoint_.everyCycles;
+    }
+
     while (now < max_cycles) {
+        if (ckpt_armed) {
+            // Top-of-iteration is the one place a snapshot can cut the
+            // loop: nothing at cycle `now` has run yet, so resume re-
+            // enters here with bit-identical state.
+            bool due = false;
+            if (checkpoint_.everyCycles && now >= cycle_mark) {
+                due = true;
+                cycle_mark = (now / checkpoint_.everyCycles + 1) *
+                             checkpoint_.everyCycles;
+            }
+            if (checkpoint_.everyInsts) {
+                std::uint64_t retired = min_benign_retired();
+                if (retired >= inst_mark) {
+                    due = true;
+                    inst_mark = (retired / checkpoint_.everyInsts + 1) *
+                                checkpoint_.everyInsts;
+                }
+            }
+            if (due) {
+                std::string error;
+                if (!saveSnapshot(checkpoint_.path, &error))
+                    std::fprintf(stderr, "checkpoint failed: %s\n",
+                                 error.c_str());
+            }
+        }
+
         bool all_done = true;
         for (auto &core : cores) {
             core->tick(now);
@@ -352,7 +412,7 @@ System::run(std::uint64_t benign_target, Cycle max_cycles)
                 all_done = false;
         }
         mc->tick(now);
-        if (bh && (now & kRollPeriodMask) == 0)
+        if (bh && isRollCycle(now))
             bh->rollWindows(now);
         if (all_done)
             break;
@@ -437,6 +497,262 @@ System::run(std::uint64_t benign_target, Cycle max_cycles)
         result.cores.push_back(cr);
     }
     return result;
+}
+
+// --- Snapshot / checkpoint ---------------------------------------------
+
+void
+System::setCheckpoint(const CheckpointConfig &config)
+{
+    checkpoint_ = config;
+}
+
+std::uint64_t
+System::configFingerprint() const
+{
+    // Serialize every constructor input that shapes the object graph and
+    // hash the bytes; the DRAM spec and derived thresholds are functions
+    // of these (spec timing side effects are applied by the caller, but
+    // only as a function of mechanism + nRh, both included).
+    StateWriter w;
+    w.u64(config_.numCores);
+    w.u64(config_.spec.org.ranks);
+    w.u64(config_.spec.org.bankGroups);
+    w.u64(config_.spec.org.banksPerGroup);
+    w.u64(config_.spec.org.rowsPerBank);
+    const DramTimingNs &t = config_.spec.timingNs;
+    for (double ns : {t.tRCD, t.tRP, t.tRAS, t.tCL, t.tCWL, t.tBL,
+                      t.tCCD, t.tRRD_L, t.tRRD_S, t.tFAW, t.tWR, t.tRTP,
+                      t.tWTR, t.tRTW, t.tRFC, t.tREFI, t.tRFM, t.tREFW})
+        w.d(ns);
+    w.u64(config_.mc.readQueueSize);
+    w.u64(config_.mc.writeQueueSize);
+    w.u64(config_.mc.frfcfsCap);
+    w.u64(config_.mc.wqHighWatermark);
+    w.u64(config_.mc.wqLowWatermark);
+    w.u64(config_.mc.commandSpacing);
+    w.u64(config_.mc.victimRowsPerRefresh);
+    w.d(config_.mc.migrationLatencyNs);
+    w.u64(config_.mc.refsPerSweep);
+    w.u64(config_.llc.sizeBytes);
+    w.u64(config_.llc.ways);
+    w.u64(config_.llc.hitLatency);
+    w.u64(config_.mshrEntries);
+    w.u64(config_.core.windowSize);
+    w.u64(config_.core.width);
+    w.u64(config_.core.llcHitLatency);
+    w.u64(static_cast<std::uint64_t>(config_.mitigation));
+    w.u64(config_.nRh);
+    w.b(config_.breakHammer);
+    w.u64(config_.bh.window);
+    w.d(config_.bh.thThreat);
+    w.d(config_.bh.thOutlier);
+    w.u64(config_.bh.pOldSuspect);
+    w.u64(config_.bh.pNewSuspect);
+    w.u64(static_cast<std::uint64_t>(config_.bh.attribution));
+    w.b(config_.bh.singleCounterSet);
+    w.b(config_.bluntThrottle);
+    w.b(config_.enableOracle);
+    w.b(config_.enableCensus);
+    w.u64(config_.seed);
+    for (const WorkloadSlot &slot : slots_) {
+        w.b(slot.kind == WorkloadSlot::Kind::kAttacker);
+        w.str(slot.appName);
+        w.u64(slot.attacker.numAggressors);
+        w.u64(slot.attacker.rowBase);
+        w.u64(slot.attacker.rowSpacing);
+        w.u64(slot.attacker.numBanks);
+        w.u64(slot.attacker.bubbles);
+    }
+    return fnv1a64(w.data().data(), w.data().size());
+}
+
+void
+System::saveState(StateWriter &w) const
+{
+    w.tag("system");
+    w.u64(now);
+    w.u64(uncachedKeyCounter);
+    w.u64(completedReads);
+    latencyHist.saveState(w);
+    saveBoolVector(w, rejectCountsQuota);
+    saveBoolVector(w, rejectTouchesLlc);
+
+    // The skip loop's retry-state snapshot: restoring it keeps a resumed
+    // run on the interrupted run's exact skip trajectory.
+    w.tag("rejectsnap");
+    w.u64(prevSnap.mshrInflight);
+    w.u64(prevSnap.readDepth);
+    w.u64(prevSnap.writeDepth);
+    w.u64(prevSnap.readsServed);
+    w.u64(prevSnap.writesServed);
+    w.u64(prevSnap.completedReads);
+    w.u64(prevSnap.quotaWrites);
+    saveUnsignedVector(w, prevSnap.quotas);
+    saveUnsignedVector(w, prevSnap.inflight);
+
+    llc.saveState(w);
+    mshr.saveState(w);
+    mc->saveState(w);
+
+    w.b(mitigation != nullptr);
+    if (mitigation)
+        mitigation->saveState(w);
+    w.b(bh != nullptr);
+    if (bh)
+        bh->saveState(w);
+    w.b(oracle != nullptr);
+    if (oracle)
+        oracle->saveState(w);
+    w.b(census != nullptr);
+    if (census)
+        census->saveState(w);
+
+    w.u64(cores.size());
+    for (const auto &core : cores)
+        core->saveState(w);
+}
+
+void
+System::loadState(StateReader &r)
+{
+    r.tag("system");
+    now = r.u64();
+    uncachedKeyCounter = r.u64();
+    completedReads = r.u64();
+    latencyHist.loadState(r);
+    loadBoolVector(r, &rejectCountsQuota);
+    loadBoolVector(r, &rejectTouchesLlc);
+    if (!r.ok() || rejectCountsQuota.size() != config_.numCores ||
+        rejectTouchesLlc.size() != config_.numCores) {
+        r.fail();
+        return;
+    }
+
+    r.tag("rejectsnap");
+    prevSnap.mshrInflight = static_cast<unsigned>(r.u64());
+    prevSnap.readDepth = r.u64();
+    prevSnap.writeDepth = r.u64();
+    prevSnap.readsServed = r.u64();
+    prevSnap.writesServed = r.u64();
+    prevSnap.completedReads = r.u64();
+    prevSnap.quotaWrites = r.u64();
+    loadUnsignedVector(r, &prevSnap.quotas);
+    loadUnsignedVector(r, &prevSnap.inflight);
+
+    llc.loadState(r);
+    mshr.loadState(r);
+    mc->loadState(r);
+
+    if (r.b() != (mitigation != nullptr)) {
+        r.fail();
+        return;
+    }
+    if (mitigation)
+        mitigation->loadState(r);
+    if (r.b() != (bh != nullptr)) {
+        r.fail();
+        return;
+    }
+    if (bh)
+        bh->loadState(r);
+    if (r.b() != (oracle != nullptr)) {
+        r.fail();
+        return;
+    }
+    if (oracle)
+        oracle->loadState(r);
+    if (r.b() != (census != nullptr)) {
+        r.fail();
+        return;
+    }
+    if (census)
+        census->loadState(r);
+
+    if (r.u64() != cores.size()) {
+        r.fail();
+        return;
+    }
+    for (auto &core : cores)
+        core->loadState(r);
+}
+
+bool
+System::saveSnapshot(const std::string &path, std::string *error) const
+{
+    StateWriter w;
+    w.str(kSnapshotMagic);
+    w.u32(kSnapshotVersion);
+    w.str(checkpoint_.identity);
+    w.u64(configFingerprint());
+    saveState(w);
+    std::string blob = w.take();
+    std::uint64_t checksum = fnv1a64(blob.data(), blob.size());
+    StateWriter tail;
+    tail.u64(checksum);
+    blob += tail.data();
+    return writeFileAtomic(path, blob, error);
+}
+
+bool
+System::resumeFromSnapshot(const std::string &path, std::string *error)
+{
+    std::string blob;
+    if (!readFile(path, &blob)) {
+        if (error)
+            *error = "no snapshot at " + path;
+        return false;
+    }
+    if (blob.size() < 8) {
+        if (error)
+            *error = "snapshot too short";
+        return false;
+    }
+    // Verify the checksum over the raw bytes before interpreting any of
+    // them: a torn or bit-flipped file must read as "no snapshot".
+    StateReader tail(blob.substr(blob.size() - 8));
+    std::uint64_t stored = tail.u64();
+    std::uint64_t actual = fnv1a64(blob.data(), blob.size() - 8);
+    if (stored != actual) {
+        if (error)
+            *error = "snapshot checksum mismatch (torn write?)";
+        return false;
+    }
+
+    StateReader r(blob.substr(0, blob.size() - 8));
+    if (r.str() != kSnapshotMagic) {
+        if (error)
+            *error = "not a snapshot file";
+        return false;
+    }
+    if (r.u32() != kSnapshotVersion) {
+        if (error)
+            *error = "snapshot format version mismatch";
+        return false;
+    }
+    std::string identity = r.str();
+    if (!checkpoint_.identity.empty() &&
+        identity != checkpoint_.identity) {
+        if (error)
+            *error = "snapshot identity mismatch";
+        return false;
+    }
+    if (r.u64() != configFingerprint()) {
+        if (error)
+            *error = "snapshot was taken under a different configuration";
+        return false;
+    }
+
+    loadState(r);
+    if (!r.ok() || !r.atEnd()) {
+        if (error)
+            *error = "snapshot payload is malformed";
+        return false;
+    }
+    resumePending_ = true;
+    BH_LOG("resumed snapshot %s at cycle %llu", path.c_str(),
+           static_cast<unsigned long long>(now));
+    return true;
 }
 
 } // namespace bh

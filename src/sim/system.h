@@ -124,6 +124,86 @@ class System : public ICoreMemory
     System &operator=(const System &) = delete;
 
     /**
+     * Cadence grid of the idle-path BreakHammer rollWindows call in the
+     * dense reference loop AND of the skip-ahead loop's window wake-up
+     * rounding: the two sites must use the same grid or the loops
+     * diverge. Both go through isRollCycle()/nextRollCycleAtOrAfter()
+     * below, and test_system_skip checks the helpers against each other,
+     * so the coupling is structural, not a comment.
+     */
+    static constexpr Cycle kRollPeriodMask = 0xfff;
+
+    /** Whether the dense loop calls rollWindows at @p cycle. */
+    static constexpr bool
+    isRollCycle(Cycle cycle)
+    {
+        return (cycle & kRollPeriodMask) == 0;
+    }
+
+    /** First roll-grid cycle at or after @p cycle (skip-ahead wake-up). */
+    static constexpr Cycle
+    nextRollCycleAtOrAfter(Cycle cycle)
+    {
+        return (cycle + kRollPeriodMask) & ~kRollPeriodMask;
+    }
+
+    /** Snapshot blob format version (bump on layout change). */
+    static constexpr std::uint32_t kSnapshotVersion = 1;
+
+    /** Mid-run checkpointing configuration (see setCheckpoint()). */
+    struct CheckpointConfig
+    {
+        /** Snapshot file path; empty disables checkpointing. */
+        std::string path;
+        /**
+         * Save whenever the slowest benign core's retired-instruction
+         * count crosses a multiple of this (0 = no instruction cadence).
+         */
+        std::uint64_t everyInsts = 0;
+        /** Save whenever `now` crosses a multiple of this (0 = off). */
+        Cycle everyCycles = 0;
+        /**
+         * Opaque caller identity (e.g. the experiment content address
+         * plus a schema version) embedded in the snapshot and required
+         * to match on resume; empty skips the check.
+         */
+        std::string identity;
+    };
+
+    /**
+     * Arm mid-run checkpointing: run() saves a full-state snapshot to
+     * config.path at the configured cadence (atomically — a kill during
+     * a save leaves the previous snapshot intact). Saving is observation
+     * only: a checkpointed run's results are bit-identical to an
+     * uncheckpointed one.
+     */
+    void setCheckpoint(const CheckpointConfig &config);
+
+    /**
+     * Serialize the complete simulation state to @p path: per-core
+     * pipeline and trace-cursor state, LLC tags, MSHR contents, the
+     * memory controller (queues, maintenance, completions, refresh,
+     * timing engine, energy counters), the mitigation mechanism,
+     * BreakHammer, oracle/census when attached, RNG streams, and the
+     * in-flight latency histogram. The blob is versioned, carries a
+     * config fingerprint plus the caller identity, and ends in a
+     * checksum; any mismatch on load falls back to recompute.
+     */
+    bool saveSnapshot(const std::string &path,
+                      std::string *error = nullptr) const;
+
+    /**
+     * Restore a saveSnapshot() blob into this freshly constructed
+     * System. On success the next run() continues mid-loop from the
+     * snapshot cycle and produces byte-identical results to a run that
+     * was never interrupted. Returns false (leaving an arbitrary partial
+     * state — discard the instance) when the file is missing, damaged,
+     * of another version, or from a different config/identity.
+     */
+    bool resumeFromSnapshot(const std::string &path,
+                            std::string *error = nullptr);
+
+    /**
      * Run until every benign core retired @p benign_target instructions
      * (or @p max_cycles elapse).
      *
@@ -149,6 +229,18 @@ class System : public ICoreMemory
 
   private:
     void handleReadComplete(const Request &req, Cycle done_cycle);
+
+    /**
+     * Stable hash over every constructor input that shapes the object
+     * graph; a snapshot from a different configuration must never load.
+     */
+    std::uint64_t configFingerprint() const;
+
+    /** Serialize all mutable state (the payload of saveSnapshot()). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore saveState() output; failure leaves partial state. */
+    void loadState(StateReader &r);
 
     /** Earliest cycle > now at which any component can make progress. */
     Cycle nextWakeCycle() const;
@@ -241,6 +333,18 @@ class System : public ICoreMemory
     RejectSnapshot curSnap;
 
     Cycle now = 0;
+
+    /** Checkpoint settings; inactive while path is empty. */
+    CheckpointConfig checkpoint_;
+
+    /**
+     * Set by resumeFromSnapshot(): the next run() continues from the
+     * restored `now`/prevSnap instead of starting at cycle 0.
+     */
+    bool resumePending_ = false;
+
+    /** Slots the constructor received (config fingerprint input). */
+    std::vector<WorkloadSlot> slots_;
 };
 
 } // namespace bh

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/snapshot.h"
 
 namespace bh {
 
@@ -63,15 +64,33 @@ class Histogram
 
     /**
      * Value below which @p pct percent of samples fall.
-     * @param pct Percentile in [0, 100].
+     *
+     * Edge cases (pinned by test_json_stats):
+     *  - empty histogram: 0 for every pct;
+     *  - pct <= 0: the lower edge of the first occupied bin (the
+     *    histogram's lower bound on the minimum — not a flat 0, which
+     *    would misreport distributions that start far from the origin);
+     *  - pct >= 100: the exact observed maximum;
+     *  - samples in the overflow bin have no upper bin edge to
+     *    interpolate toward, so queries landing there report the
+     *    observed maximum;
+     *  - interpolation never exceeds the observed maximum (a lone
+     *    sample's p99 must not extrapolate past the sample itself).
+     *
+     * @param pct Percentile in [0, 100]; values outside clamp.
      */
     double
     percentile(double pct) const
     {
         if (count_ == 0)
             return 0.0;
-        if (pct <= 0.0)
-            return 0.0;
+        if (pct <= 0.0) {
+            for (std::size_t i = 0; i < bins.size(); ++i)
+                if (bins[i] != 0)
+                    return std::min(static_cast<double>(i) * binWidth_,
+                                    max_);
+            return 0.0; // Unreachable: count_ > 0 implies an occupied bin.
+        }
         if (pct >= 100.0)
             return max_;
         double target = pct / 100.0 * static_cast<double>(count_);
@@ -84,7 +103,10 @@ class Histogram
                 double frac =
                     bins[i] ? (target - running) / static_cast<double>(bins[i])
                             : 0.0;
-                return (static_cast<double>(i) + frac) * binWidth_;
+                // The bin edge can overshoot the largest sample actually
+                // recorded; the observed max caps every answer.
+                return std::min(
+                    (static_cast<double>(i) + frac) * binWidth_, max_);
             }
             running = next;
         }
@@ -143,6 +165,39 @@ class Histogram
         h.sum_ = sum;
         h.max_ = max;
         return h;
+    }
+
+    /** Serialize the accumulator state (geometry stays constructor-set). */
+    void
+    saveState(StateWriter &w) const
+    {
+        w.tag("hist");
+        w.d(binWidth_);
+        saveU64Vector(w, bins);
+        w.u64(count_);
+        w.d(sum_);
+        w.d(max_);
+    }
+
+    /** Restore saveState() output; geometry mismatch is a failure. */
+    void
+    loadState(StateReader &r)
+    {
+        r.tag("hist");
+        double width = r.d();
+        std::vector<std::uint64_t> raw;
+        loadU64Vector(r, &raw);
+        std::uint64_t count = r.u64();
+        double sum = r.d();
+        double max = r.d();
+        if (!r.ok() || width != binWidth_ || raw.size() != bins.size()) {
+            r.fail();
+            return;
+        }
+        bins = std::move(raw);
+        count_ = count;
+        sum_ = sum;
+        max_ = max;
     }
 
     bool

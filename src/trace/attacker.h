@@ -55,6 +55,8 @@ class AttackerTrace : public TraceSource
 
     TraceRecord next() override;
     const std::string &name() const override { return name_; }
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
 
     const AttackerConfig &config() const { return config_; }
 

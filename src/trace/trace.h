@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 
 namespace bh {
@@ -42,6 +43,17 @@ class TraceSource
 
     /** Stable human-readable workload name. */
     virtual const std::string &name() const = 0;
+
+    /**
+     * Serialize the generator's mutable cursor/RNG state. Everything
+     * derived from the constructor arguments (profiles, precomputed row
+     * sets) is rebuilt deterministically on construction and not saved.
+     * The default is for stateless/test sources: nothing to save.
+     */
+    virtual void saveState(StateWriter &w) const { (void)w; }
+
+    /** Restore saveState() output into a same-config instance. */
+    virtual void loadState(StateReader &r) { (void)r; }
 };
 
 } // namespace bh

@@ -110,12 +110,57 @@ TEST(HistogramTest, SingleSamplePercentiles)
     h.record(5.0);
     EXPECT_EQ(h.count(), 1u);
     EXPECT_EQ(h.max(), 5.0);
-    EXPECT_EQ(h.percentile(0), 0.0);       // p0 is defined as 0
+    // p0 is the histogram's lower bound on the minimum: the lower edge
+    // of the sample's bin [4, 6) — not a flat 0.
+    EXPECT_EQ(h.percentile(0), 4.0);
     EXPECT_EQ(h.percentile(100), 5.0);     // p100 is the observed max
-    // The single sample lands in bin [4, 6); any mid percentile
-    // interpolates inside that bin.
+    // Any mid percentile interpolates inside the bin but is capped at
+    // the observed max: a lone sample's p99 must not exceed the sample.
     EXPECT_GE(h.percentile(50), 4.0);
-    EXPECT_LE(h.percentile(50), 6.0);
+    EXPECT_LE(h.percentile(50), 5.0);
+    EXPECT_EQ(h.percentile(99), 5.0);
+}
+
+TEST(HistogramTest, InterpolationNeverExceedsObservedMax)
+{
+    // 10 samples at 1.0 in bin [1, 2): the raw interpolation formula for
+    // p99 lands at 1.99 * width, past every recorded value. The observed
+    // max must cap it.
+    Histogram h(1.0, 16);
+    for (int i = 0; i < 10; ++i)
+        h.record(1.0);
+    EXPECT_EQ(h.percentile(99), 1.0);
+    EXPECT_EQ(h.percentile(100), 1.0);
+    // Monotone through the cap.
+    double prev = 0.0;
+    for (double p = 0; p <= 100; p += 5) {
+        double v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        EXPECT_LE(v, h.max());
+        prev = v;
+    }
+}
+
+TEST(HistogramTest, P0ReportsFirstOccupiedBin)
+{
+    Histogram h(10.0, 16);
+    h.record(57.0); // bin [50, 60)
+    h.record(99.0); // bin [90, 100)
+    EXPECT_EQ(h.percentile(0), 50.0);
+    EXPECT_EQ(h.percentile(-1), 50.0); // clamped below
+}
+
+TEST(HistogramTest, OverflowOnlySamplesReportMaxEverywhere)
+{
+    Histogram h(1.0, 4); // regular bins cover [0, 4)
+    h.record(1000.0);
+    // Mid/high percentiles of an overflow-only population report the
+    // observed max (the overflow bin has no upper edge to interpolate
+    // toward); p0 reports the overflow bin's lower edge — the only
+    // lower bound the histogram still knows.
+    EXPECT_EQ(h.percentile(0), 4.0);
+    EXPECT_EQ(h.percentile(50), 1000.0);
+    EXPECT_EQ(h.percentile(100), 1000.0);
 }
 
 TEST(HistogramTest, P0AndP100OnManySamples)

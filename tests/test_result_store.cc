@@ -316,6 +316,62 @@ TEST(ResultStoreTest, TornTrailingLineIsSkippedNotFatal)
     EXPECT_EQ(store.stats().computed, 0u); // intact record still serves
 }
 
+TEST(ResultStoreTest, TornMiddleLineKeepsFollowingRecords)
+{
+    // Mid-file truncation: a writer is killed mid-record (no trailing
+    // newline) and a later run appends valid records after it — exactly
+    // what kill-and-resume checkpointing makes common. The torn bytes
+    // fuse with the next record into one physical line; only the torn
+    // prefix may be dropped, never the valid record or the remainder of
+    // the file.
+    std::string dir = storeDir("torn-middle");
+    ExperimentConfig cfg_a =
+        smallConfig("MMLL", MitigationType::kNone, 1024, false);
+    ExperimentConfig cfg_b =
+        smallConfig("LLLA", MitigationType::kPara, 1024, true);
+
+    {
+        ResultStore store(1);
+        std::string error;
+        ASSERT_TRUE(store.open(dir, &error)) << error;
+        store.prefetch({cfg_a, cfg_b});
+    }
+
+    // Rebuild the file with a torn prefix fused onto ONE of the
+    // experiment lines (the later lines stay intact behind it).
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(resultsPath(dir));
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    {
+        std::ofstream out(resultsPath(dir), std::ios::trunc);
+        bool fused = false;
+        for (const std::string &line : lines) {
+            if (!fused && line.find("\"kind\":\"experiment\"") !=
+                              std::string::npos) {
+                // The torn record ends mid-string, no newline.
+                out << "{\"v\":2,\"kind\":\"experiment\",\"key\":\"ha"
+                    << line << "\n";
+                fused = true;
+            } else {
+                out << line << "\n";
+            }
+        }
+        ASSERT_TRUE(fused);
+    }
+
+    ResultStore store(1);
+    std::string error;
+    ASSERT_TRUE(store.open(dir, &error)) << error;
+    EXPECT_EQ(store.stats().loaded, 2u); // both records survive
+    EXPECT_GE(store.stats().skipped, 1u); // the torn prefix
+    store.prefetch({cfg_a, cfg_b});
+    EXPECT_EQ(store.stats().computed, 0u);
+}
+
 TEST(ResultStoreTest, ShardedStoresMergeToTheUnshardedResult)
 {
     std::vector<ExperimentConfig> grid = testGrid();

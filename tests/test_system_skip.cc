@@ -150,5 +150,37 @@ TEST(SystemSkipTest, SkipLoopIsNotSlowerInCycleCount)
         EXPECT_EQ(event_r.cores[i].retired, dense_r.cores[i].retired);
 }
 
+TEST(SystemSkipTest, RollCadenceAndWindowWakeupShareOneGrid)
+{
+    // The dense loop calls rollWindows at isRollCycle() marks; the skip
+    // loop wakes for a window boundary at nextRollCycleAtOrAfter(). Both
+    // are defined on System::kRollPeriodMask; this test fails if either
+    // helper is ever changed without the other: the wake-up must be
+    // exactly the FIRST cycle at which the dense loop would roll.
+    static_assert(((System::kRollPeriodMask + 1) &
+                   System::kRollPeriodMask) == 0,
+                  "roll cadence must be a power-of-two grid");
+
+    auto first_roll_at_or_after = [](Cycle c) {
+        // Reference definition straight from the dense-loop predicate.
+        Cycle x = c;
+        while (!System::isRollCycle(x))
+            ++x;
+        return x;
+    };
+
+    std::vector<Cycle> probes = {0, 1, 2, System::kRollPeriodMask,
+                                 System::kRollPeriodMask + 1,
+                                 System::kRollPeriodMask + 2,
+                                 12345, 4096, 4097, 8191, 8192,
+                                 (1ull << 32) - 1, 1ull << 32,
+                                 (1ull << 32) + 1};
+    for (Cycle boundary : probes) {
+        EXPECT_EQ(System::nextRollCycleAtOrAfter(boundary),
+                  first_roll_at_or_after(boundary))
+            << "window boundary " << boundary;
+    }
+}
+
 } // namespace
 } // namespace bh
