@@ -55,7 +55,15 @@ usage()
         "                every N retired instructions (or N cycles with\n"
         "                the 'c' suffix) into <store>/snapshots; a killed\n"
         "                run restarted with the same flags resumes from\n"
-        "                its snapshots bit-identically\n\n"
+        "                its snapshots bit-identically\n"
+        "  --sample=W/M/F\n"
+        "                statistical interval sampling: one detailed\n"
+        "                warm-up of W instructions, then repeating\n"
+        "                [fast-forward F][warm W][measure M] windows;\n"
+        "                headline metrics become means across windows\n"
+        "                with 95%% confidence intervals in the JSON.\n"
+        "                Sampled points key separately from exact ones\n"
+        "                in --store; oracle configs always run exact\n\n"
         "scale knobs (environment): BH_INSTS, BH_MIXES, BH_FULL\n");
 }
 
@@ -90,6 +98,33 @@ parseShardSpec(const char *text, unsigned *index, unsigned *count)
     return true;
 }
 
+/**
+ * Parse a "W/M/F" sampling spec (all three positive instruction counts).
+ * Rejects missing parts, zeros, and non-numeric text via the same strict
+ * parser the shard spec uses.
+ */
+bool
+parseSampleSpec(const char *text, bh::SamplingSpec *spec)
+{
+    const char *s1 = std::strchr(text, '/');
+    if (s1 == nullptr || s1 == text)
+        return false;
+    const char *s2 = std::strchr(s1 + 1, '/');
+    if (s2 == nullptr || s2 == s1 + 1 || s2[1] == '\0')
+        return false;
+    std::string warm(text, s1);
+    std::string meas(s1 + 1, s2);
+    std::uint64_t w = 0, m = 0, f = 0;
+    if (!bh::parsePositiveU64(warm.c_str(), &w) ||
+        !bh::parsePositiveU64(meas.c_str(), &m) ||
+        !bh::parsePositiveU64(s2 + 1, &f))
+        return false;
+    spec->warmup = w;
+    spec->measure = m;
+    spec->fastForward = f;
+    return true;
+}
+
 } // namespace
 
 int
@@ -116,6 +151,7 @@ main(int argc, char **argv)
     std::string store_dir;
     std::uint64_t checkpoint_insts = 0;
     std::uint64_t checkpoint_cycles = 0;
+    SamplingSpec sample;
     unsigned shard_index = 0, shard_count = 0;
     bool run_all = false;
     std::vector<std::string> names;
@@ -186,6 +222,15 @@ main(int argc, char **argv)
                 checkpoint_cycles = parsed;
             else
                 checkpoint_insts = parsed;
+        } else if (flag_value(arg, "--sample", &i, &value)) {
+            if (!parseSampleSpec(value, &sample)) {
+                std::fprintf(stderr,
+                             "error: --sample wants W/M/F with three "
+                             "positive instruction counts (e.g. "
+                             "--sample=20000/10000/100000), got \"%s\"\n",
+                             value);
+                return 2;
+            }
         } else if (flag_value(arg, "--shard", &i, &value)) {
             if (!parseShardSpec(value, &shard_index, &shard_count)) {
                 std::fprintf(stderr,
@@ -263,6 +308,13 @@ main(int argc, char **argv)
             return 2;
         }
         setCheckpointSpec(spec);
+    }
+    if (sample.enabled()) {
+        // Fold the spec into every experiment point (oracle configs
+        // ignore it and run exact) and let each sampled point fan its
+        // windows across the same worker budget the grid uses.
+        setSamplingSpec(sample);
+        setSamplingJobs(jobs);
     }
     if (shard_count) {
         store.setShard(shard_index, shard_count);

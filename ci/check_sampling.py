@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate an interval-sampled benchmark run against its exact twin.
+
+Usage: check_sampling.py <exact.json> <sampled.json> [budget.json]
+
+Both inputs are bh_bench --json dumps of the same figure(s); the sampled
+one must have been produced with --sample=W/M/F. Records are matched by
+(mix, mechanism, nrh, breakhammer) -- the experiment key itself differs
+because sampled runs carry a |sample= suffix. For every matched record
+selected by the budget's "select" clause, each metric's relative error
+against the exact run must stay within the budget's max_rel_err (an
+absolute abs_tolerance, when present, forgives small-count noise first).
+Prints a per-point summary and exits non-zero when any bound is
+exceeded, when the sampled dump lacks sampling blocks, or when the
+selection matches nothing. Stdlib only -- no pip dependencies.
+"""
+
+import json
+import pathlib
+import sys
+
+MATCH_FIELDS = ("mix", "mechanism", "nrh", "breakhammer")
+
+
+def load_records(path):
+    data = json.loads(pathlib.Path(path).read_text())
+    records = {}
+    for rec in data["experiments"]:
+        records[tuple(rec[f] for f in MATCH_FIELDS)] = rec
+    return records
+
+
+def rel_err(sampled, exact):
+    if exact == 0:
+        return 0.0 if sampled == 0 else float("inf")
+    return abs(sampled / exact - 1.0)
+
+
+def main() -> int:
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    exact_path, sampled_path = sys.argv[1], sys.argv[2]
+    budget_path = pathlib.Path(
+        sys.argv[3] if len(sys.argv) == 4
+        else pathlib.Path(__file__).parent / "sampling_budget.json")
+    budget = json.loads(budget_path.read_text())
+    select = budget.get("select", {})
+    metrics = budget["metrics"]
+
+    exact = load_records(exact_path)
+    sampled = load_records(sampled_path)
+
+    checked = 0
+    failures = []
+    for key, ex in sorted(exact.items()):
+        rec = dict(zip(MATCH_FIELDS, key))
+        if any(rec.get(f) != want for f, want in select.items()):
+            continue
+        sp = sampled.get(key)
+        if sp is None:
+            failures.append(f"{key}: missing from sampled dump")
+            continue
+        if "sampling" not in sp:
+            failures.append(f"{key}: sampled record has no sampling block "
+                            "(did the run use --sample?)")
+            continue
+        checked += 1
+        parts = []
+        for metric, bound in metrics.items():
+            err = rel_err(sp[metric], ex[metric])
+            abs_err = abs(sp[metric] - ex[metric])
+            tol = bound.get("abs_tolerance")
+            ok = (tol is not None and abs_err <= tol) or \
+                err <= bound["max_rel_err"]
+            parts.append(f"{metric}={err:.3f}"
+                         f"/{bound['max_rel_err']}{'' if ok else ' FAIL'}")
+            if not ok:
+                failures.append(
+                    f"{key}: {metric} rel err {err:.3f} > "
+                    f"{bound['max_rel_err']} (sampled {sp[metric]}, "
+                    f"exact {ex[metric]})")
+        print(f"sampling[{'/'.join(str(k) for k in key)}]: "
+              f"{' '.join(parts)}")
+
+    if checked == 0 and not failures:
+        print(f"error: select clause {select} matched no records "
+              f"in {exact_path}", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"sampling: FAIL -- {len(failures)} bound(s) exceeded "
+              f"across {checked} point(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("If the accuracy change is understood and intentional, "
+              "update ci/sampling_budget.json with a justification.",
+              file=sys.stderr)
+        return 1
+    print(f"sampling: OK -- {checked} point(s) within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

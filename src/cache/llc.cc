@@ -1,5 +1,7 @@
 #include "cache/llc.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace bh {
@@ -106,14 +108,60 @@ Llc::saveState(StateWriter &w) const
 {
     w.tag("llc");
     w.u64(sets.size());
+    // Struct-of-arrays bulk encoding: the tag store is by far the
+    // largest snapshot section (one entry per cache line), so it is
+    // written as three flat arrays instead of hundreds of thousands of
+    // per-field codec calls. Flags pack valid|dirty<<1 per line. Tags
+    // and LRU stamps almost always fit 32 bits (tags below a 256 GB
+    // address space, LRU stamps below 4G accesses); a width byte keeps
+    // the wide encoding available for the rare state that does not.
+    std::size_t lines = 0;
+    for (const Set &set : sets)
+        lines += set.ways.size();
+    bool narrow = true;
+    std::vector<std::uint32_t> tags32, lrus32;
+    tags32.reserve(lines);
+    lrus32.reserve(lines);
+    std::vector<std::uint64_t> flags;
+    flags.reserve((lines + 31) / 32);
+    std::uint64_t packed = 0;
+    std::size_t nbits = 0;
     for (const Set &set : sets) {
         for (const Line &line : set.ways) {
-            w.u64(line.tag);
-            w.b(line.valid);
-            w.b(line.dirty);
-            w.u64(line.lru);
+            if (narrow && (line.tag > UINT32_MAX || line.lru > UINT32_MAX))
+                narrow = false;
+            tags32.push_back(static_cast<std::uint32_t>(line.tag));
+            lrus32.push_back(static_cast<std::uint32_t>(line.lru));
+            std::uint64_t f = (line.valid ? 1u : 0u) |
+                              (line.dirty ? 2u : 0u);
+            packed |= f << (nbits * 2);
+            if (++nbits == 32) {
+                flags.push_back(packed);
+                packed = 0;
+                nbits = 0;
+            }
         }
     }
+    if (nbits > 0)
+        flags.push_back(packed);
+    w.u8(narrow ? 1 : 0);
+    if (narrow) {
+        saveU32VectorBulk(w, tags32);
+        saveU32VectorBulk(w, lrus32);
+    } else {
+        std::vector<std::uint64_t> tags, lrus;
+        tags.reserve(lines);
+        lrus.reserve(lines);
+        for (const Set &set : sets) {
+            for (const Line &line : set.ways) {
+                tags.push_back(line.tag);
+                lrus.push_back(line.lru);
+            }
+        }
+        saveU64VectorBulk(w, tags);
+        saveU64VectorBulk(w, lrus);
+    }
+    saveU64VectorBulk(w, flags);
     w.u64(lruClock);
     w.u64(hits_);
     w.u64(misses_);
@@ -128,12 +176,38 @@ Llc::loadState(StateReader &r)
         r.fail();
         return;
     }
+    std::size_t lines = 0;
+    for (const Set &set : sets)
+        lines += set.ways.size();
+    const bool narrow = r.u8() != 0;
+    std::vector<std::uint32_t> t32, l32;
+    std::vector<std::uint64_t> t64, l64;
+    if (narrow) {
+        if (!loadU32VectorBulk(r, &t32) || !loadU32VectorBulk(r, &l32) ||
+            t32.size() != lines || l32.size() != lines) {
+            r.fail();
+            return;
+        }
+    } else if (!loadU64VectorBulk(r, &t64) || !loadU64VectorBulk(r, &l64) ||
+               t64.size() != lines || l64.size() != lines) {
+        r.fail();
+        return;
+    }
+    std::vector<std::uint64_t> flags;
+    if (!loadU64VectorBulk(r, &flags) ||
+        flags.size() != (lines + 31) / 32) {
+        r.fail();
+        return;
+    }
+    std::size_t i = 0;
     for (Set &set : sets) {
         for (Line &line : set.ways) {
-            line.tag = r.u64();
-            line.valid = r.b();
-            line.dirty = r.b();
-            line.lru = r.u64();
+            line.tag = narrow ? t32[i] : t64[i];
+            line.lru = narrow ? l32[i] : l64[i];
+            std::uint64_t f = (flags[i / 32] >> ((i % 32) * 2)) & 3u;
+            line.valid = (f & 1) != 0;
+            line.dirty = (f & 2) != 0;
+            ++i;
         }
     }
     lruClock = r.u64();

@@ -10,6 +10,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -116,6 +117,20 @@ class MshrFile : public IThrottleTarget
      * retry once per skipped cycle.
      */
     void addQuotaRejections(std::uint64_t n) { quotaRejections_ += n; }
+
+    /**
+     * Discard every outstanding entry without waking its waiters
+     * (fast-forward support). Quotas and the rejection/write counters
+     * survive; only the in-flight tracking resets. The caller must also
+     * drop the controller requests and core window slots the entries
+     * were wired to.
+     */
+    void
+    clearInflight()
+    {
+        entries.clear();
+        std::fill(inflight.begin(), inflight.end(), 0u);
+    }
 
     /** Serialize outstanding entries, quotas, and counters. */
     void saveState(StateWriter &w) const;

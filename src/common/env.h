@@ -9,23 +9,64 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace bh {
 
-/** Read an integer environment variable, or return @p def if unset/bad. */
+/**
+ * Strictly parse @p text as an unsigned decimal integer (zero allowed —
+ * envFlag() relies on "0" parsing). Rejects empty strings, signs (so
+ * "-5" cannot wrap to a huge unsigned), non-digit characters including
+ * trailing garbage ("20k"), and values that overflow std::uint64_t.
+ * @return true and stores into @p out on success.
+ */
+inline bool
+parseU64Strict(const char *text, std::uint64_t *out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    std::uint64_t value = 0;
+    for (const char *p = text; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return false; // Overflow.
+        value = value * 10 + digit;
+    }
+    *out = value;
+    return true;
+}
+
+/**
+ * Read an integer environment variable, or return @p def if unset/bad.
+ *
+ * Parsing is strict (parseU64Strict): a negative value must not wrap to
+ * ~1.8e19 and "20k" must not silently read as 20 — both fall back to the
+ * default, with a warning when BH_LOG is on. The gate re-implements
+ * BH_LOG's envFlag() check directly because envFlag() is built on this
+ * very function (a garbage BH_LOG value would otherwise recurse).
+ */
 inline std::uint64_t
 envU64(const char *name, std::uint64_t def)
 {
     const char *v = std::getenv(name);
     if (v == nullptr || *v == '\0')
         return def;
-    char *end = nullptr;
-    unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end == v)
+    std::uint64_t parsed = 0;
+    if (!parseU64Strict(v, &parsed)) {
+        const char *gate = std::getenv("BH_LOG");
+        if (gate != nullptr && *gate != '\0' &&
+            !(gate[0] == '0' && gate[1] == '\0'))
+            std::fprintf(stderr,
+                         "bh: ignoring %s=\"%s\" (not an unsigned decimal "
+                         "integer); using default %llu\n",
+                         name, v, static_cast<unsigned long long>(def));
         return def;
-    return static_cast<std::uint64_t>(parsed);
+    }
+    return parsed;
 }
 
 /** Read a boolean flag environment variable (non-zero means true). */
@@ -44,18 +85,8 @@ envFlag(const char *name)
 inline bool
 parsePositiveU64(const char *text, std::uint64_t *out)
 {
-    if (text == nullptr || *text == '\0')
-        return false;
     std::uint64_t value = 0;
-    for (const char *p = text; *p != '\0'; ++p) {
-        if (*p < '0' || *p > '9')
-            return false;
-        std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
-        if (value > (UINT64_MAX - digit) / 10)
-            return false; // Overflow.
-        value = value * 10 + digit;
-    }
-    if (value == 0)
+    if (!parseU64Strict(text, &value) || value == 0)
         return false;
     *out = value;
     return true;

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -42,6 +43,33 @@ fnv1a64(const void *data, std::size_t size,
 {
     const unsigned char *p = static_cast<const unsigned char *>(data);
     std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= p[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+/**
+ * FNV-1a folding 8 input bytes per round instead of 1 — the snapshot
+ * checksum, where the input is megabytes and the byte-at-a-time loop's
+ * serial multiply chain dominates save/restore. Same mixing, different
+ * digest than fnv1a64 (stride is part of the function); snapshots store
+ * only this variant, so the two never need to agree.
+ */
+inline std::uint64_t
+fnv1a64Chunked(const void *data, std::size_t size)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = 14695981039346656037ull;
+    while (size >= 8) {
+        std::uint64_t chunk;
+        std::memcpy(&chunk, p, 8);
+        hash ^= chunk;
+        hash *= 1099511628211ull;
+        p += 8;
+        size -= 8;
+    }
     for (std::size_t i = 0; i < size; ++i) {
         hash ^= p[i];
         hash *= 1099511628211ull;
@@ -64,15 +92,22 @@ class StateWriter
     void
     u32(std::uint32_t v)
     {
+        // One append instead of four push_backs: integer encodes are the
+        // codec's hot path (a snapshot is millions of them), and each
+        // push_back re-checks capacity.
+        char tmp[4];
         for (int i = 0; i < 4; ++i)
-            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+            tmp[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+        buf.append(tmp, 4);
     }
 
     void
     u64(std::uint64_t v)
     {
+        char tmp[8];
         for (int i = 0; i < 8; ++i)
-            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+            tmp[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+        buf.append(tmp, 8);
     }
 
     void
@@ -98,6 +133,16 @@ class StateWriter
             fnv1a64(name, std::strlen(name))));
     }
 
+    /** Pre-size the buffer (e.g. to the previous snapshot's size). */
+    void reserve(std::size_t n) { buf.reserve(n); }
+
+    /** Append raw bytes (callers handle any endianness concerns). */
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        buf.append(static_cast<const char *>(p), n);
+    }
+
     const std::string &data() const { return buf; }
     std::string take() { return std::move(buf); }
 
@@ -109,7 +154,23 @@ class StateWriter
 class StateReader
 {
   public:
-    explicit StateReader(std::string data) : buf(std::move(data)) {}
+    explicit StateReader(std::string data)
+        : owned(std::move(data)), buf(owned)
+    {
+    }
+
+    /** Tag type selecting the borrowing constructor. */
+    struct Borrow
+    {
+    };
+
+    /**
+     * Decode @p data in place without copying it. The caller must keep
+     * the referenced bytes alive and unmodified for the reader's whole
+     * lifetime — the restore path uses this to avoid duplicating a
+     * multi-megabyte snapshot blob per read.
+     */
+    StateReader(std::string_view data, Borrow) : buf(data) {}
 
     bool ok() const { return ok_; }
     void fail() { ok_ = false; }
@@ -129,13 +190,16 @@ class StateReader
     std::uint32_t
     u32()
     {
+        // memcpy + LE fix-up compiles to a single load; assembling the
+        // value byte by byte through operator[] does not, and integer
+        // decodes are the restore path's hot loop.
         if (!take(4))
             return 0;
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(
-                     static_cast<unsigned char>(buf[pos - 4 + i]))
-                 << (8 * i);
+        std::uint32_t v;
+        std::memcpy(&v, buf.data() + pos - 4, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+        v = __builtin_bswap32(v);
+#endif
         return v;
     }
 
@@ -144,11 +208,11 @@ class StateReader
     {
         if (!take(8))
             return 0;
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(
-                     static_cast<unsigned char>(buf[pos - 8 + i]))
-                 << (8 * i);
+        std::uint64_t v;
+        std::memcpy(&v, buf.data() + pos - 8, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+        v = __builtin_bswap64(v);
+#endif
         return v;
     }
 
@@ -169,7 +233,7 @@ class StateReader
             fail();
             return std::string();
         }
-        std::string out = buf.substr(pos, n);
+        std::string out(buf.substr(pos, n));
         pos += n;
         return out;
     }
@@ -185,6 +249,16 @@ class StateReader
         return ok_;
     }
 
+    /** Copy @p n raw bytes out; false (and sticky-fail) when short. */
+    bool
+    bytes(void *p, std::size_t n)
+    {
+        if (!take(n))
+            return false;
+        std::memcpy(p, buf.data() + pos - n, n);
+        return true;
+    }
+
   private:
     bool
     take(std::size_t n)
@@ -197,7 +271,8 @@ class StateReader
         return true;
     }
 
-    std::string buf;
+    std::string owned;     ///< Backing storage of the owning constructor.
+    std::string_view buf;  ///< The bytes being decoded (may be borrowed).
     std::size_t pos = 0;
     bool ok_ = true;
 };
@@ -252,6 +327,40 @@ loadU64Vector(StateReader &r, std::vector<std::uint64_t> *v)
     });
 }
 
+/**
+ * saveU64Vector with a bulk fast path: on little-endian hosts the whole
+ * array is one append/memcpy (bit-identical encoding to the element
+ * loop). For megabyte-scale state — the LLC tag store — the per-element
+ * loop is the snapshot codec's dominant cost.
+ */
+inline void
+saveU64VectorBulk(StateWriter &w, const std::vector<std::uint64_t> &v)
+{
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    w.u64(v.size());
+    w.bytes(v.data(), v.size() * sizeof(std::uint64_t));
+#else
+    saveU64Vector(w, v);
+#endif
+}
+
+/** Bulk counterpart of loadU64Vector (same encoding, memcpy decode). */
+inline bool
+loadU64VectorBulk(StateReader &r, std::vector<std::uint64_t> *v)
+{
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::uint64_t n = r.u64();
+    if (!r.ok() || n > r.remaining() / sizeof(std::uint64_t)) {
+        r.fail();
+        return false;
+    }
+    v->resize(n);
+    return r.bytes(v->data(), n * sizeof(std::uint64_t));
+#else
+    return loadU64Vector(r, v);
+#endif
+}
+
 inline void
 saveU32Vector(StateWriter &w, const std::vector<std::uint32_t> &v)
 {
@@ -264,6 +373,39 @@ loadU32Vector(StateReader &r, std::vector<std::uint32_t> *v)
     return loadVector(r, v, [](StateReader &sr, std::uint32_t *e) {
         *e = sr.u32();
     });
+}
+
+/** u32 counterpart of saveU64VectorBulk (same bulk fast path). */
+inline void
+saveU32VectorBulk(StateWriter &w, const std::vector<std::uint32_t> &v)
+{
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    w.u64(v.size());
+    w.bytes(v.data(), v.size() * sizeof(std::uint32_t));
+#else
+    w.u64(v.size());
+    for (std::uint32_t e : v)
+        w.u32(e);
+#endif
+}
+
+/** Bulk counterpart of loadU32Vector's encoding above. */
+inline bool
+loadU32VectorBulk(StateReader &r, std::vector<std::uint32_t> *v)
+{
+    std::uint64_t n = r.u64();
+    if (!r.ok() || n > r.remaining() / sizeof(std::uint32_t)) {
+        r.fail();
+        return false;
+    }
+    v->resize(n);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    return r.bytes(v->data(), n * sizeof(std::uint32_t));
+#else
+    for (std::uint32_t &e : *v)
+        e = r.u32();
+    return r.ok();
+#endif
 }
 
 inline void

@@ -193,6 +193,28 @@ class MemoryController : public IMitigationHost
      */
     void accountSkippedCycles(Cycle first, Cycle last);
 
+    /**
+     * Discard all in-flight work (fast-forward support): request queues,
+     * pending read completions, and queued maintenance operations are
+     * dropped without firing their callbacks. Counters, refresh
+     * bookkeeping, and the timing engine survive — the clock is about to
+     * jump far past every engine constraint anyway. The caller must have
+     * cleared the MSHR entries and core window slots these requests were
+     * wired to.
+     */
+    void beginFastForward();
+
+    /**
+     * Functionally retire every periodic refresh due up to cycle @p to:
+     * the per-rank sweep pointers advance and each elapsed REF fires
+     * onPeriodicRefresh and the mitigation's onPeriodicRefresh hook at
+     * its scheduled cycle — so tracking tables reset on their normal
+     * cadence even though no commands issue. Finishes by advancing the
+     * mitigation's timed state (advanceTo) and the observer timestamp
+     * to @p to.
+     */
+    void fastForwardTo(Cycle to);
+
     /** Fires when read data is fully returned. */
     std::function<void(const Request &, Cycle)> onReadComplete;
 

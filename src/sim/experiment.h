@@ -24,6 +24,28 @@
 
 namespace bh {
 
+/**
+ * Statistical interval-sampling parameters (SMARTS-style), in
+ * instructions per benign core. A run samples the horizon as
+ * [detailed warm-up of W insts] followed by repeating
+ * [fast-forward F][detailed warm W][detailed measure M] windows; only
+ * the M phases contribute to the reported metrics, each an independent
+ * estimate whose spread yields a 95% confidence interval. All three
+ * must be positive for sampling to engage.
+ */
+struct SamplingSpec
+{
+    std::uint64_t warmup = 0;      ///< W: detailed warm insts per window.
+    std::uint64_t measure = 0;     ///< M: measured detailed insts.
+    std::uint64_t fastForward = 0; ///< F: functionally-warmed insts.
+
+    bool
+    enabled() const
+    {
+        return warmup > 0 && measure > 0 && fastForward > 0;
+    }
+};
+
 /** One experiment point. */
 struct ExperimentConfig
 {
@@ -38,6 +60,41 @@ struct ExperimentConfig
     /** Ablation: reject a throttled thread's secondary misses too. */
     bool bluntThrottle = false;
     std::uint64_t seed = 1;
+    /**
+     * Interval sampling; disabled (exact simulation) by default. When
+     * disabled here, resolveExperimentConfig() folds in the process-wide
+     * spec from setSamplingSpec(). Part of experimentKey(), so sampled
+     * and exact results never alias in the ResultStore.
+     */
+    SamplingSpec sample;
+};
+
+/** A sampled metric: the mean across measurement windows and its CI. */
+struct SampledMetric
+{
+    double mean = 0.0;
+    double ci95 = 0.0; ///< Half-width of the 95% confidence interval.
+};
+
+/**
+ * Per-window statistics of a sampled run. The headline metrics of the
+ * owning ExperimentResult are the means; this carries the uncertainty
+ * (mean ± ci95) the JSON export reports next to every sampled metric.
+ * preventiveActions and p99LatencyNs are per-window quantities (counts
+ * within one M-instruction measurement, latency percentile of one
+ * window's samples), not whole-horizon extrapolations.
+ */
+struct SamplingStats
+{
+    bool enabled = false;
+    std::uint64_t warmup = 0;
+    std::uint64_t measure = 0;
+    std::uint64_t fastForward = 0;
+    std::uint64_t windows = 0;
+    SampledMetric weightedSpeedup;
+    SampledMetric maxSlowdown;
+    SampledMetric preventiveActions;
+    SampledMetric p99LatencyNs;
 };
 
 /** Metrics of one run, alongside the raw result. */
@@ -48,6 +105,8 @@ struct ExperimentResult
     double maxSlowdown = 0.0;
     double energyNj = 0.0;
     std::uint64_t preventiveActions = 0;
+    /** Present (enabled = true) only for interval-sampled runs. */
+    SamplingStats sampling;
 };
 
 /** Default per-benign-core instruction count (BH_INSTS, default 150k). */
@@ -138,6 +197,28 @@ void setCheckpointSpec(const CheckpointSpec &spec);
 
 /** The current process-wide checkpoint policy. */
 CheckpointSpec checkpointSpec();
+
+/**
+ * Install the process-wide sampling spec (thread-safe). Folded into any
+ * config whose own spec is disabled by resolveExperimentConfig() — the
+ * bh_bench --sample flag routes through this, exactly like the BH_INSTS
+ * environment default for instructions.
+ */
+void setSamplingSpec(const SamplingSpec &spec);
+
+/** The current process-wide sampling spec. */
+SamplingSpec samplingSpec();
+
+/**
+ * Worker threads a sampled run may fan its measurement windows across
+ * (intra-point parallelism; default 1). Window results are slotted by
+ * window index and aggregated in that order, so sampled results are
+ * byte-identical for every job count.
+ */
+void setSamplingJobs(unsigned jobs);
+
+/** The current sampling worker-thread count. */
+unsigned samplingJobs();
 
 /** Snapshot file of @p config (resolved) inside checkpoint dir @p dir. */
 std::string snapshotPath(const std::string &dir,

@@ -1,6 +1,7 @@
 #include "sim/system.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/env.h"
@@ -335,14 +336,6 @@ System::run(std::uint64_t benign_target, Cycle max_cycles)
         if (core->benign())
             core->setTarget(benign_target);
 
-    // Reference mode: tick every cycle. The event-driven loop below must
-    // match it bit for bit (test_system_skip compares both). ACT-delaying
-    // mechanisms (BlockHammer) ride the event loop too: scheduler probes
-    // are const, epoch state rolls in IMitigation::advanceTo() at the top
-    // of every controller tick, and the controller's wake set includes
-    // the mechanism's next release/epoch-boundary cycle.
-    const bool dense = envFlag("BH_DENSE_TICK");
-
     if (resumePending_) {
         // A restored snapshot re-enters the loop exactly where the
         // interrupted run left it: `now`, the skip loop's prevSnap, and
@@ -350,10 +343,42 @@ System::run(std::uint64_t benign_target, Cycle max_cycles)
         // free, so from here on the trajectory is the uninterrupted one.
         resumePending_ = false;
     } else {
-        if (!dense)
+        if (!envFlag("BH_DENSE_TICK"))
             fillRejectSnapshot(&prevSnap);
         now = 0;
     }
+
+    return runLoop(max_cycles, benign_target);
+}
+
+RunResult
+System::runDelta(std::uint64_t delta_insts, Cycle max_extra_cycles)
+{
+    for (auto &core : cores)
+        if (core->benign())
+            core->setWindowTarget(core->retired() + delta_insts);
+
+    // The previous phase already ticked cycle `now` (its loop breaks
+    // after the ticks); re-entering at the same cycle would tick it
+    // twice.
+    if (now > 0)
+        ++now;
+    resumePending_ = false;
+    if (!envFlag("BH_DENSE_TICK"))
+        fillRejectSnapshot(&prevSnap);
+    return runLoop(now + max_extra_cycles, 0);
+}
+
+RunResult
+System::runLoop(Cycle max_cycles, std::uint64_t ipc_target)
+{
+    // Reference mode: tick every cycle. The event-driven loop below must
+    // match it bit for bit (test_system_skip compares both). ACT-delaying
+    // mechanisms (BlockHammer) ride the event loop too: scheduler probes
+    // are const, epoch state rolls in IMitigation::advanceTo() at the top
+    // of every controller tick, and the controller's wake set includes
+    // the mechanism's next release/epoch-boundary cycle.
+    const bool dense = envFlag("BH_DENSE_TICK");
 
     // Checkpoint cadence marks, armed past the current progress so a
     // just-resumed run does not immediately re-save its own snapshot.
@@ -483,8 +508,8 @@ System::run(std::uint64_t benign_target, Cycle max_cycles)
         cr.retired = cores[i]->retired();
         cr.finishCycle = cores[i]->finishCycle();
         cr.rejectStalls = cores[i]->rejectStallCycles();
-        if (cr.benign && cr.finishCycle > 0) {
-            cr.ipc = static_cast<double>(benign_target) /
+        if (cr.benign && cr.finishCycle > 0 && ipc_target > 0) {
+            cr.ipc = static_cast<double>(ipc_target) /
                      static_cast<double>(cr.finishCycle);
         } else if (cr.benign) {
             // Hit the cycle cap before the target: report progress IPC.
@@ -497,6 +522,211 @@ System::run(std::uint64_t benign_target, Cycle max_cycles)
         result.cores.push_back(cr);
     }
     return result;
+}
+
+// --- Statistical-sampling fast-forward ---------------------------------
+
+namespace {
+
+/**
+ * Mitigation host swapped in during fastForward(): preventive actions
+ * have no timing or energy cost (there is no detailed controller to
+ * absorb them), but the observer notifications and row protections the
+ * MemoryController would emit still fire, so BreakHammer's
+ * scores/quotas and the oracle's counters keep evolving through the
+ * skipped interval — the "functional warming" of the mitigation state.
+ */
+class FastForwardHost : public IMitigationHost
+{
+  public:
+    IActionObserver *observer = nullptr;
+    HammerOracle *oracle = nullptr;
+    Cycle now = 0;
+
+    void
+    performVictimRefresh(unsigned flat_bank, unsigned row,
+                         double weight) override
+    {
+        if (observer != nullptr)
+            observer->onPreventiveAction(weight, now);
+        if (oracle != nullptr)
+            oracle->onRowProtected(flat_bank, row);
+    }
+
+    void
+    performMigration(unsigned flat_bank, unsigned row) override
+    {
+        if (observer != nullptr)
+            observer->onPreventiveAction(1.0, now);
+        if (oracle != nullptr)
+            oracle->onRowProtected(flat_bank, row);
+    }
+
+    void
+    performRfm(unsigned flat_bank, double weight) override
+    {
+        (void)flat_bank;
+        if (observer != nullptr)
+            observer->onPreventiveAction(weight, now);
+    }
+
+    void
+    performAlertBackoff(unsigned rfms, double weight) override
+    {
+        (void)rfms;
+        if (observer != nullptr)
+            observer->onPreventiveAction(weight, now);
+    }
+
+    void
+    performTrackerAccess(unsigned flat_bank, Cycle duration,
+                         double weight) override
+    {
+        (void)flat_bank;
+        (void)duration;
+        if (observer != nullptr)
+            observer->onPreventiveAction(weight, now);
+    }
+
+    void
+    notifyRowProtected(unsigned flat_bank, unsigned row) override
+    {
+        if (oracle != nullptr)
+            oracle->onRowProtected(flat_bank, row);
+    }
+
+    void
+    creditDirectScore(ThreadId thread, double amount) override
+    {
+        if (observer != nullptr)
+            observer->onDirectScore(thread, amount, now);
+    }
+};
+
+} // namespace
+
+void
+System::fastForward(std::uint64_t delta_insts)
+{
+    if (delta_insts == 0)
+        return;
+    BH_ASSERT(now > 0, "fast-forward needs a prior detailed phase");
+    resumePending_ = false;
+
+    // Per-core functional rates, estimated from the whole detailed
+    // history so far; the slowest benign core's rate converts the
+    // instruction delta into the interval's cycle span.
+    std::vector<double> rate(cores.size(), 0.0);
+    double slowest_benign = 0.0;
+    for (unsigned i = 0; i < cores.size(); ++i) {
+        rate[i] = static_cast<double>(cores[i]->retired()) /
+                  static_cast<double>(now);
+        if (cores[i]->benign() && rate[i] > 0.0 &&
+            (slowest_benign == 0.0 || rate[i] < slowest_benign))
+            slowest_benign = rate[i];
+    }
+    BH_ASSERT(slowest_benign > 0.0,
+              "fast-forward needs a benign core with warm progress");
+    Cycle ff_cycles = static_cast<Cycle>(std::ceil(
+        static_cast<double>(delta_insts) / slowest_benign));
+    const Cycle start = now;
+    const Cycle end = start + ff_cycles;
+
+    std::vector<std::uint64_t> total(cores.size(), 0);
+    for (unsigned i = 0; i < cores.size(); ++i)
+        total[i] = static_cast<std::uint64_t>(
+            rate[i] * static_cast<double>(ff_cycles));
+
+    // Drop all in-flight timing state as one coupled set: a stale
+    // completion routed to a cleared core slot would be fatal.
+    mshr.clearInflight();
+    mc->beginFastForward();
+    for (auto &core : cores)
+        core->resetPipeline();
+
+    FastForwardHost host;
+    host.observer = bh.get();
+    host.oracle = oracle.get();
+    host.now = start;
+    if (mitigation)
+        mitigation->setHost(&host);
+
+    // Functional open-row table, seeded from the timing engine's last
+    // detailed view. Row transitions here are what drive the warming
+    // commits below; the engine's own bank state is left as-is and
+    // re-converges during the detailed warm-up phase that follows.
+    unsigned banks = config_.spec.org.totalBanks();
+    std::vector<long> openRow(banks, -1);
+    for (unsigned fb = 0; fb < banks; ++fb) {
+        const BankState &bank = mc->engine().bank(fb);
+        if (bank.open)
+            openRow[fb] = static_cast<long>(bank.openRow);
+    }
+
+    auto dramAccess = [&](Addr addr, ThreadId thread, Cycle at) {
+        DramAddress da = mapper.decode(addr);
+        unsigned fb = mapper.flatBank(da);
+        if (openRow[fb] == static_cast<long>(da.row))
+            return;
+        openRow[fb] = static_cast<long>(da.row);
+        if (oracle)
+            oracle->onActivate(fb, da.row);
+        if (census)
+            census->recordAct(fb, da.row, at);
+        if (bh)
+            bh->onDemandActivate(thread, fb, at);
+        if (mitigation)
+            mitigation->commitAct(fb, da.row, thread, at);
+    };
+    auto touch = [&](ThreadId thread, const TraceRecord &r, Cycle at) {
+        if (r.uncached) {
+            dramAccess(r.addr, thread, at);
+            return;
+        }
+        Addr line = lineOf(r.addr);
+        if (llc.access(line, r.isWrite))
+            return;
+        Llc::Victim victim;
+        llc.allocate(line, r.isWrite, &victim);
+        if (victim.dirtyWriteback)
+            dramAccess(victim.writebackLine, thread, at);
+        dramAccess(line, thread, at);
+    };
+
+    // Virtual clock: advance in roll-grid slices so BreakHammer windows,
+    // refresh sweeps, and mitigation epochs keep rolling on their usual
+    // cadence while the cores interleave at their observed rates.
+    std::vector<std::uint64_t> advanced(cores.size(), 0);
+    Cycle t = start;
+    while (t < end) {
+        Cycle next = std::min<Cycle>(end, nextRollCycleAtOrAfter(t + 1));
+        host.now = next;
+        for (unsigned i = 0; i < cores.size(); ++i) {
+            std::uint64_t planned =
+                next == end
+                    ? total[i]
+                    : static_cast<std::uint64_t>(
+                          rate[i] * static_cast<double>(next - start));
+            if (planned > total[i])
+                planned = total[i];
+            if (planned > advanced[i]) {
+                ThreadId id = static_cast<ThreadId>(i);
+                cores[i]->functionalAdvance(
+                    planned - advanced[i],
+                    [&](const TraceRecord &r) { touch(id, r, next); });
+                advanced[i] = planned;
+            }
+        }
+        mc->fastForwardTo(next);
+        if (bh && isRollCycle(next))
+            bh->rollWindows(next);
+        t = next;
+    }
+
+    if (mitigation)
+        mitigation->setHost(mc.get());
+    now = end;
+    fillRejectSnapshot(&prevSnap);
 }
 
 // --- Snapshot / checkpoint ---------------------------------------------
@@ -677,21 +907,28 @@ System::loadState(StateReader &r)
         core->loadState(r);
 }
 
-bool
-System::saveSnapshot(const std::string &path, std::string *error) const
+std::string
+System::snapshotBlob() const
 {
     StateWriter w;
+    w.reserve(3 << 20);
     w.str(kSnapshotMagic);
     w.u32(kSnapshotVersion);
     w.str(checkpoint_.identity);
     w.u64(configFingerprint());
     saveState(w);
     std::string blob = w.take();
-    std::uint64_t checksum = fnv1a64(blob.data(), blob.size());
+    std::uint64_t checksum = fnv1a64Chunked(blob.data(), blob.size());
     StateWriter tail;
     tail.u64(checksum);
     blob += tail.data();
-    return writeFileAtomic(path, blob, error);
+    return blob;
+}
+
+bool
+System::saveSnapshot(const std::string &path, std::string *error) const
+{
+    return writeFileAtomic(path, snapshotBlob(), error);
 }
 
 bool
@@ -703,6 +940,16 @@ System::resumeFromSnapshot(const std::string &path, std::string *error)
             *error = "no snapshot at " + path;
         return false;
     }
+    if (!restoreSnapshotBlob(blob, error))
+        return false;
+    BH_LOG("resumed snapshot %s at cycle %llu", path.c_str(),
+           static_cast<unsigned long long>(now));
+    return true;
+}
+
+bool
+System::restoreSnapshotBlob(const std::string &blob, std::string *error)
+{
     if (blob.size() < 8) {
         if (error)
             *error = "snapshot too short";
@@ -712,14 +959,17 @@ System::resumeFromSnapshot(const std::string &path, std::string *error)
     // them: a torn or bit-flipped file must read as "no snapshot".
     StateReader tail(blob.substr(blob.size() - 8));
     std::uint64_t stored = tail.u64();
-    std::uint64_t actual = fnv1a64(blob.data(), blob.size() - 8);
+    std::uint64_t actual = fnv1a64Chunked(blob.data(), blob.size() - 8);
     if (stored != actual) {
         if (error)
             *error = "snapshot checksum mismatch (torn write?)";
         return false;
     }
 
-    StateReader r(blob.substr(0, blob.size() - 8));
+    // Borrow the payload instead of copying it: blobs are megabytes and
+    // the sampling driver restores one per measurement window.
+    StateReader r(std::string_view(blob.data(), blob.size() - 8),
+                  StateReader::Borrow{});
     if (r.str() != kSnapshotMagic) {
         if (error)
             *error = "not a snapshot file";
@@ -750,8 +1000,6 @@ System::resumeFromSnapshot(const std::string &path, std::string *error)
         return false;
     }
     resumePending_ = true;
-    BH_LOG("resumed snapshot %s at cycle %llu", path.c_str(),
-           static_cast<unsigned long long>(now));
     return true;
 }
 

@@ -147,8 +147,9 @@ class System : public ICoreMemory
         return (cycle + kRollPeriodMask) & ~kRollPeriodMask;
     }
 
-    /** Snapshot blob format version (bump on layout change). */
-    static constexpr std::uint32_t kSnapshotVersion = 1;
+    /** Snapshot blob format version (bump on layout change).
+     *  v2: Histogram state gained the dropped-NaN-sample counter. */
+    static constexpr std::uint32_t kSnapshotVersion = 2;
 
     /** Mid-run checkpointing configuration (see setCheckpoint()). */
     struct CheckpointConfig
@@ -193,6 +194,21 @@ class System : public ICoreMemory
                       std::string *error = nullptr) const;
 
     /**
+     * The saveSnapshot() byte string without the file write: the
+     * statistical-sampling driver keeps one warm ancestor's blob in
+     * memory and restores it into a fresh System per measurement window.
+     */
+    std::string snapshotBlob() const;
+
+    /**
+     * Restore a snapshotBlob()/saveSnapshot() byte string into this
+     * freshly constructed System; same contract and checks as
+     * resumeFromSnapshot() minus the file read.
+     */
+    bool restoreSnapshotBlob(const std::string &blob,
+                             std::string *error = nullptr);
+
+    /**
      * Restore a saveSnapshot() blob into this freshly constructed
      * System. On success the next run() continues mid-loop from the
      * snapshot cycle and produces byte-identical results to a run that
@@ -218,6 +234,36 @@ class System : public ICoreMemory
      */
     RunResult run(std::uint64_t benign_target, Cycle max_cycles);
 
+    /**
+     * Continue the simulation (detailed, same event-driven loop as
+     * run()) until every benign core retires @p delta_insts MORE
+     * instructions than it already has, or @p max_extra_cycles elapse.
+     * Unlike run() the clock is not reset and each core gets its own
+     * absolute target, so back-to-back calls chain phases — the
+     * statistical-sampling driver runs an unmeasured warm phase followed
+     * by a measured phase and differences the two RunResults. Per-core
+     * finishCycle() latches are cleared on entry; the returned CoreResult
+     * ipc fields are whole-run progress rates (callers derive window IPC
+     * from finishCycle deltas).
+     */
+    RunResult runDelta(std::uint64_t delta_insts, Cycle max_extra_cycles);
+
+    /**
+     * Jump the simulation forward by roughly @p delta_insts per benign
+     * core without detailed timing (SMARTS-style functional warming).
+     * In-flight pipeline/queue state is discarded, then every core
+     * replays its trace functionally at the per-core rate observed so
+     * far while the LLC, the mitigation mechanism's tracking tables,
+     * BreakHammer's windows/scores/quotas, periodic-refresh sweeps, and
+     * the row census all keep evolving; only DRAM timing, latency, and
+     * energy accounting stand still. The clock advances to the cycle the
+     * slowest benign core would have needed. Requires a prior detailed
+     * phase (rates come from retired()/now). Follow with a detailed
+     * warm-up phase (runDelta) before measuring — the drained timing
+     * state and approximate row states need to re-converge.
+     */
+    void fastForward(std::uint64_t delta_insts);
+
     // --- ICoreMemory ---
     AccessOutcome load(ThreadId thread, Addr addr, bool uncached,
                        std::uint64_t token) override;
@@ -229,6 +275,15 @@ class System : public ICoreMemory
 
   private:
     void handleReadComplete(const Request &req, Cycle done_cycle);
+
+    /**
+     * The shared simulation loop + result assembly behind run() and
+     * runDelta(): ticks from the current `now` until every benign core
+     * reached its armed target or @p max_cycles is hit. @p ipc_target
+     * is the common benign instruction target run() reports IPC against;
+     * 0 (runDelta) reports whole-run progress rates instead.
+     */
+    RunResult runLoop(Cycle max_cycles, std::uint64_t ipc_target);
 
     /**
      * Stable hash over every constructor input that shapes the object

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -33,15 +34,27 @@ class Histogram
         BH_ASSERT(bin_width > 0.0, "histogram bin width must be positive");
     }
 
-    /** Record one sample. */
+    /**
+     * Record one sample. NaN samples carry no orderable value and are
+     * dropped (counted in droppedSamples()); every finite value lands in
+     * a bin. The quotient is clamped against the overflow-bin index in
+     * floating point BEFORE the size_t cast: casting a double beyond the
+     * target range (a huge sample, or +inf) is undefined behavior.
+     */
     void
     record(double value)
     {
+        if (std::isnan(value)) {
+            ++dropped_;
+            return;
+        }
         if (value < 0.0)
             value = 0.0;
-        auto idx = static_cast<std::size_t>(value / binWidth_);
-        if (idx >= bins.size() - 1)
-            idx = bins.size() - 1;
+        double quotient = value / binWidth_;
+        double overflow = static_cast<double>(bins.size() - 1);
+        std::size_t idx = quotient >= overflow
+                              ? bins.size() - 1
+                              : static_cast<std::size_t>(quotient);
         ++bins[idx];
         ++count_;
         sum_ += value;
@@ -51,6 +64,9 @@ class Histogram
 
     /** Number of recorded samples. */
     std::uint64_t count() const { return count_; }
+
+    /** NaN samples rejected by record() (diagnostics; not in count()). */
+    std::uint64_t droppedSamples() const { return dropped_; }
 
     /** Mean of recorded samples (0 if empty). */
     double
@@ -124,6 +140,7 @@ class Histogram
             bins[i] += other.bins[i];
         count_ += other.count_;
         sum_ += other.sum_;
+        dropped_ += other.dropped_;
         if (other.max_ > max_)
             max_ = other.max_;
     }
@@ -136,6 +153,7 @@ class Histogram
         count_ = 0;
         sum_ = 0.0;
         max_ = 0.0;
+        dropped_ = 0;
     }
 
     // --- raw access (JSON export / exact comparison) -----------------
@@ -177,6 +195,7 @@ class Histogram
         w.u64(count_);
         w.d(sum_);
         w.d(max_);
+        w.u64(dropped_);
     }
 
     /** Restore saveState() output; geometry mismatch is a failure. */
@@ -190,6 +209,7 @@ class Histogram
         std::uint64_t count = r.u64();
         double sum = r.d();
         double max = r.d();
+        std::uint64_t dropped = r.u64();
         if (!r.ok() || width != binWidth_ || raw.size() != bins.size()) {
             r.fail();
             return;
@@ -198,6 +218,7 @@ class Histogram
         count_ = count;
         sum_ = sum;
         max_ = max;
+        dropped_ = dropped;
     }
 
     bool
@@ -205,7 +226,7 @@ class Histogram
     {
         return binWidth_ == other.binWidth_ && bins == other.bins &&
                count_ == other.count_ && sum_ == other.sum_ &&
-               max_ == other.max_;
+               max_ == other.max_ && dropped_ == other.dropped_;
     }
 
   private:
@@ -214,6 +235,7 @@ class Histogram
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double max_ = 0.0;
+    std::uint64_t dropped_ = 0; ///< NaN samples rejected by record().
 };
 
 } // namespace bh

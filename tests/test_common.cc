@@ -130,5 +130,43 @@ TEST(EnvTest, BadValueFallsBack)
     unsetenv("BH_TEST_VAR");
 }
 
+TEST(EnvTest, NegativeValueFallsBackInsteadOfWrapping)
+{
+    // strtoull would happily wrap "-5" to 2^64-5; the strict parser must
+    // reject the sign and fall back to the default instead.
+    setenv("BH_TEST_VAR", "-5", 1);
+    EXPECT_EQ(envU64("BH_TEST_VAR", 123), 123u);
+    unsetenv("BH_TEST_VAR");
+}
+
+TEST(EnvTest, TrailingGarbageFallsBackInsteadOfTruncating)
+{
+    // strtoull would stop at the 'k' and read "20k" as 20; the strict
+    // parser rejects the whole value.
+    setenv("BH_TEST_VAR", "20k", 1);
+    EXPECT_EQ(envU64("BH_TEST_VAR", 7), 7u);
+    setenv("BH_TEST_VAR", "1 ", 1);
+    EXPECT_EQ(envU64("BH_TEST_VAR", 7), 7u);
+    unsetenv("BH_TEST_VAR");
+}
+
+TEST(EnvTest, ZeroStillParsesForFlagSemantics)
+{
+    // envFlag("X") is envU64("X", 0) != 0: an explicit "0" must parse as
+    // the value zero, not fall back (parsePositiveU64 rejects zero; the
+    // env parser must not).
+    setenv("BH_TEST_VAR", "0", 1);
+    EXPECT_EQ(envU64("BH_TEST_VAR", 9), 0u);
+    EXPECT_FALSE(envFlag("BH_TEST_VAR"));
+    unsetenv("BH_TEST_VAR");
+}
+
+TEST(EnvTest, OverflowFallsBack)
+{
+    setenv("BH_TEST_VAR", "99999999999999999999999", 1);
+    EXPECT_EQ(envU64("BH_TEST_VAR", 11), 11u);
+    unsetenv("BH_TEST_VAR");
+}
+
 } // namespace
 } // namespace bh

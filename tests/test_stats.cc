@@ -4,6 +4,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "stats/histogram.h"
 #include "stats/metrics.h"
 
@@ -77,9 +79,51 @@ TEST(HistogramTest, ResetClears)
 {
     Histogram h(1.0, 8);
     h.record(3.0);
+    h.record(std::numeric_limits<double>::quiet_NaN());
     h.reset();
     EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.droppedSamples(), 0u);
     EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, NanRoutesToDroppedCounter)
+{
+    // NaN compares false against every guard, so the old code fell
+    // through to an undefined double->size_t cast. It must be dropped,
+    // not recorded, and must not disturb the accumulated statistics.
+    Histogram h(1.0, 8);
+    h.record(2.0);
+    h.record(std::numeric_limits<double>::quiet_NaN());
+    h.record(-std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.droppedSamples(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(h.max(), 2.0);
+}
+
+TEST(HistogramTest, HugeValuesClampToOverflowBin)
+{
+    // value / binWidth_ beyond size_t range (1e300, or +inf) made the
+    // cast UB; the quotient must clamp to the overflow bin in floating
+    // point first.
+    Histogram h(2.0, 16);
+    h.record(1e300);
+    h.record(std::numeric_limits<double>::infinity());
+    h.record(static_cast<double>(UINT64_MAX) * 4.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.droppedSamples(), 0u);
+    EXPECT_EQ(h.rawBins().back(), 3u);
+}
+
+TEST(HistogramTest, MergeAccumulatesDroppedSamples)
+{
+    Histogram a(1.0, 8), b(1.0, 8);
+    a.record(std::numeric_limits<double>::quiet_NaN());
+    b.record(std::numeric_limits<double>::quiet_NaN());
+    b.record(1.0);
+    a.merge(b);
+    EXPECT_EQ(a.droppedSamples(), 2u);
+    EXPECT_EQ(a.count(), 1u);
 }
 
 TEST(MetricsTest, WeightedSpeedupIdentity)
