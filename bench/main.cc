@@ -63,7 +63,13 @@ usage()
         "                headline metrics become means across windows\n"
         "                with 95%% confidence intervals in the JSON.\n"
         "                Sampled points key separately from exact ones\n"
-        "                in --store; oracle configs always run exact\n\n"
+        "                in --store; oracle configs always run exact\n"
+        "  --channels=N  DRAM channels (power of two; default 1). Each\n"
+        "                channel gets its own memory controller and\n"
+        "                mitigation state; addresses interleave across\n"
+        "                channels\n"
+        "  --ranks=N     DRAM ranks per channel (power of two; default "
+        "2)\n\n"
         "scale knobs (environment): BH_INSTS, BH_MIXES, BH_FULL\n");
 }
 
@@ -72,8 +78,9 @@ listFigures()
 {
     std::printf("%-12s %-52s %s\n", "name", "title", "reproduces");
     for (const bh::bench::Figure &figure : bh::bench::figures())
-        std::printf("%-12s %-52s %s\n", figure.name.c_str(),
-                    figure.title.c_str(), figure.paperRef.c_str());
+        std::printf("%-12s %-52s %s%s\n", figure.name.c_str(),
+                    figure.title.c_str(), figure.paperRef.c_str(),
+                    figure.inAll ? "" : " [study: not part of \"all\"]");
 }
 
 /**
@@ -125,6 +132,22 @@ parseSampleSpec(const char *text, bh::SamplingSpec *spec)
     return true;
 }
 
+/**
+ * Parse a DRAM organization count: strictly numeric, positive, a power
+ * of two (the address map slices bits, so anything else cannot be
+ * encoded), and within a sane bound.
+ */
+bool
+parseOrgCount(const char *text, std::uint64_t limit, unsigned *out)
+{
+    std::uint64_t parsed = 0;
+    if (!bh::parsePositiveU64(text, &parsed) || parsed > limit ||
+        (parsed & (parsed - 1)) != 0)
+        return false;
+    *out = static_cast<unsigned>(parsed);
+    return true;
+}
+
 } // namespace
 
 int
@@ -152,6 +175,7 @@ main(int argc, char **argv)
     std::uint64_t checkpoint_insts = 0;
     std::uint64_t checkpoint_cycles = 0;
     SamplingSpec sample;
+    ChannelSpec channel_spec;
     unsigned shard_index = 0, shard_count = 0;
     bool run_all = false;
     std::vector<std::string> names;
@@ -231,6 +255,22 @@ main(int argc, char **argv)
                              value);
                 return 2;
             }
+        } else if (flag_value(arg, "--channels", &i, &value)) {
+            if (!parseOrgCount(value, 64, &channel_spec.channels)) {
+                std::fprintf(stderr,
+                             "error: --channels wants a power-of-two "
+                             "channel count (1..64), got \"%s\"\n",
+                             value);
+                return 2;
+            }
+        } else if (flag_value(arg, "--ranks", &i, &value)) {
+            if (!parseOrgCount(value, 16, &channel_spec.ranks)) {
+                std::fprintf(stderr,
+                             "error: --ranks wants a power-of-two rank "
+                             "count (1..16), got \"%s\"\n",
+                             value);
+                return 2;
+            }
         } else if (flag_value(arg, "--shard", &i, &value)) {
             if (!parseShardSpec(value, &shard_index, &shard_count)) {
                 std::fprintf(stderr,
@@ -268,7 +308,11 @@ main(int argc, char **argv)
         if (!named.empty())
             std::fprintf(stderr, "note: \"all\" includes every figure; "
                                  "ignoring the explicit name(s)\n");
-        selected = bench::figures();
+        // Scaling studies (inAll = false) run only by explicit name, so
+        // the canonical full-set export keeps its bytes.
+        for (const bench::Figure &figure : bench::figures())
+            if (figure.inAll)
+                selected.push_back(figure);
     } else {
         selected = std::move(named);
     }
@@ -315,6 +359,12 @@ main(int argc, char **argv)
         // windows across the same worker budget the grid uses.
         setSamplingSpec(sample);
         setSamplingJobs(jobs);
+    }
+    if (channel_spec.channels || channel_spec.ranks) {
+        // Fold the organization into every experiment point; solo-IPC
+        // baselines stay single-channel so weighted speedup keeps the
+        // same denominator across the channel-count axis.
+        setChannelSpec(channel_spec);
     }
     if (shard_count) {
         store.setShard(shard_index, shard_count);

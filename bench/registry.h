@@ -46,6 +46,13 @@ struct Figure
     std::string paperRef; ///< e.g. "paper Fig 6 (§8.1)".
     SweepFn sweep = nullptr;  ///< Experiment grid; null = no experiments.
     RenderFn render = nullptr;
+    /**
+     * Part of "bh_bench all"? Paper figures are; beyond-paper scaling
+     * studies register with inAll = false and run only when named
+     * explicitly, so the canonical "all --json" export stays stable as
+     * studies accumulate.
+     */
+    bool inAll = true;
 };
 
 /** Register @p figure (called by static Registrar initializers). */
@@ -61,9 +68,10 @@ const Figure *findFigure(const std::string &name);
 struct Registrar
 {
     Registrar(const char *name, const char *title, const char *paper_ref,
-              SweepFn sweep, RenderFn render)
+              SweepFn sweep, RenderFn render, bool in_all = true)
     {
-        registerFigure(Figure{name, title, paper_ref, sweep, render});
+        registerFigure(
+            Figure{name, title, paper_ref, sweep, render, in_all});
     }
 };
 
@@ -100,4 +108,17 @@ struct Registrar
     static void bhBenchRun(::bh::bench::Context &ctx);                         \
     static ::bh::bench::Registrar bhBenchRegistrar{                            \
         name, title, ref, &bhBenchSweep, &bhBenchRun};                         \
+    static void bhBenchRun([[maybe_unused]] ::bh::bench::Context &ctx)
+
+/**
+ * Like BH_BENCH_SWEEP_FIGURE, but for beyond-paper scaling studies:
+ * registered and listable, yet excluded from "bh_bench all" so the
+ * canonical full-set JSON export keeps its bytes as studies accumulate.
+ * Run them by name: `bh_bench chscale`.
+ */
+#define BH_BENCH_SWEEP_STUDY(name, title, ref)                                 \
+    static ::bh::SweepSpec bhBenchSweep();                                     \
+    static void bhBenchRun(::bh::bench::Context &ctx);                         \
+    static ::bh::bench::Registrar bhBenchRegistrar{                            \
+        name, title, ref, &bhBenchSweep, &bhBenchRun, false};                  \
     static void bhBenchRun([[maybe_unused]] ::bh::bench::Context &ctx)

@@ -23,7 +23,7 @@ BH_BENCH_FIGURE("table03", "Table 3: workload characteristics",
 
     std::printf("(profiler: %s instructions, 8M-instruction windows)\n\n",
                 "4M");
-    AddressMapper mapper(DramSpec::ddr5().org);
+    AddressMap mapper(DramSpec::ddr5().org);
     LlcConfig llc;
 
     std::printf("%-20s %6s %10s %10s %10s %10s\n", "workload", "tier",

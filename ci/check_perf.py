@@ -2,11 +2,19 @@
 """Compare a benchmark's wall clock against the checked-in perf budget.
 
 Usage: check_perf.py <budget-key> <time-v-output-file>
+       check_perf.py --require-all <key>=<time-v-file> [<key>=<file> ...]
 
-The second argument is the stderr of `/usr/bin/time -v <command>`; the
-script extracts the "Elapsed (wall clock) time" line, compares it against
+The time file is the stderr of `/usr/bin/time -v <command>`; the script
+extracts the "Elapsed (wall clock) time" line, compares it against
 ci/perf_budget.json's entry for <budget-key>, prints a summary, and exits
-non-zero when the budget is exceeded. Stdlib only — no pip dependencies.
+non-zero when the budget is exceeded.
+
+--require-all is the coverage check: every row of perf_budget.json must
+appear among the <key>=<file> measurements (each of which is also
+re-verified against its budget). Without it, deleting a measurement step
+from the workflow would silently retire its budget row — the budget
+would still be "green" while enforcing nothing. Stdlib only — no pip
+dependencies.
 """
 
 import json
@@ -29,14 +37,13 @@ def parse_wall_seconds(time_v_text: str) -> float:
     return hours * 3600 + minutes * 60 + seconds
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    key, time_file = sys.argv[1], sys.argv[2]
-
+def load_budgets() -> tuple[pathlib.Path, dict]:
     budget_path = pathlib.Path(__file__).parent / "perf_budget.json"
-    budgets = json.loads(budget_path.read_text())
+    return budget_path, json.loads(budget_path.read_text())
+
+
+def check_one(key: str, time_file: str, budgets: dict,
+              budget_path: pathlib.Path) -> int:
     if key not in budgets:
         print(f"error: no budget entry '{key}' in {budget_path}",
               file=sys.stderr)
@@ -56,6 +63,47 @@ def main() -> int:
         return 1
     print(f"perf[{key}]: OK")
     return 0
+
+
+def require_all(pairs: list[str]) -> int:
+    budget_path, budgets = load_budgets()
+    measured = {}
+    for pair in pairs:
+        key, sep, time_file = pair.partition("=")
+        if not sep or not key or not time_file:
+            print(f"error: malformed measurement '{pair}' "
+                  "(want key=time-v-file)", file=sys.stderr)
+            return 2
+        measured[key] = time_file
+
+    missing = sorted(set(budgets) - set(measured))
+    if missing:
+        print(f"perf: FAIL — budget row(s) with no measurement: "
+              f"{', '.join(missing)}. Every row of {budget_path} must be "
+              "measured by the workflow; add the measurement step or "
+              "remove the row.", file=sys.stderr)
+        return 1
+
+    worst = 0
+    for key, time_file in sorted(measured.items()):
+        worst = max(worst, check_one(key, time_file, budgets, budget_path))
+    if worst == 0:
+        print(f"perf: all {len(budgets)} budget row(s) measured and "
+              "within budget")
+    return worst
+
+
+def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--require-all":
+        if len(sys.argv) < 3:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return require_all(sys.argv[2:])
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    budget_path, budgets = load_budgets()
+    return check_one(sys.argv[1], sys.argv[2], budgets, budget_path)
 
 
 if __name__ == "__main__":

@@ -4,8 +4,32 @@
 
 namespace bh {
 
+const char *
+interleaveName(Interleave il)
+{
+    switch (il) {
+    case Interleave::kMop:
+        return "mop";
+    case Interleave::kRow:
+        return "row";
+    }
+    return "?";
+}
+
+bool
+parseInterleave(const std::string &name, Interleave *out)
+{
+    for (Interleave il : kAllInterleaves) {
+        if (name == interleaveName(il)) {
+            *out = il;
+            return true;
+        }
+    }
+    return false;
+}
+
 unsigned
-AddressMapper::log2u(unsigned v)
+AddressMap::log2u(unsigned v)
 {
     BH_ASSERT(v != 0 && (v & (v - 1)) == 0, "value must be a power of two");
     unsigned bits = 0;
@@ -16,9 +40,11 @@ AddressMapper::log2u(unsigned v)
     return bits;
 }
 
-AddressMapper::AddressMapper(const DramOrg &org, unsigned mop_lines)
+AddressMap::AddressMap(const DramOrg &org, unsigned mop_lines, Interleave il)
     : org_(org),
+      interleave_(il),
       mopBits(log2u(mop_lines)),
+      chBits(log2u(org.channels)),
       bankBits(log2u(org.banksPerGroup)),
       bgBits(log2u(org.bankGroups)),
       rankBits(log2u(org.ranks)),
@@ -29,7 +55,7 @@ AddressMapper::AddressMapper(const DramOrg &org, unsigned mop_lines)
 }
 
 DramAddress
-AddressMapper::decode(Addr addr) const
+AddressMap::decode(Addr addr) const
 {
     std::uint64_t line = (addr % capacityBytes()) >> kCacheLineBits;
 
@@ -41,17 +67,21 @@ AddressMapper::decode(Addr addr) const
 
     DramAddress da;
     unsigned col_low = take(mopBits);
+    if (interleave_ == Interleave::kMop)
+        da.channel = take(chBits);
     da.bank = take(bankBits);
     da.bankGroup = take(bgBits);
     da.rank = take(rankBits);
     unsigned col_high = take(colBits - mopBits);
+    if (interleave_ == Interleave::kRow)
+        da.channel = take(chBits);
     da.row = take(rowBits);
     da.column = (col_high << mopBits) | col_low;
     return da;
 }
 
 Addr
-AddressMapper::encode(const DramAddress &da) const
+AddressMap::encode(const DramAddress &da) const
 {
     std::uint64_t line = 0;
     unsigned shift = 0;
@@ -62,10 +92,14 @@ AddressMapper::encode(const DramAddress &da) const
     };
 
     put(da.column & ((1u << mopBits) - 1), mopBits);
+    if (interleave_ == Interleave::kMop)
+        put(da.channel, chBits);
     put(da.bank, bankBits);
     put(da.bankGroup, bgBits);
     put(da.rank, rankBits);
     put(da.column >> mopBits, colBits - mopBits);
+    if (interleave_ == Interleave::kRow)
+        put(da.channel, chBits);
     put(da.row, rowBits);
     return line << kCacheLineBits;
 }

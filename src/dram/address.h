@@ -5,11 +5,14 @@
  * The MOP ("Minimalist Open Page", Kaseridis et al., MICRO'11) mapping keeps
  * a small group of consecutive cache lines in the same row of the same bank
  * and then interleaves groups across banks, balancing row-buffer locality
- * against bank-level parallelism.
+ * against bank-level parallelism. Multi-channel organizations additionally
+ * spread the physical address space across channels according to a named
+ * interleaving scheme (see Interleave).
  */
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.h"
 #include "dram/spec.h"
@@ -24,30 +27,61 @@ struct DramAddress
     unsigned bank = 0; ///< Bank within its bank group.
     unsigned row = 0;
     unsigned column = 0; ///< Cache-line index within the row.
+    unsigned channel = 0;
 
     bool
     operator==(const DramAddress &other) const
     {
         return rank == other.rank && bankGroup == other.bankGroup &&
                bank == other.bank && row == other.row &&
-               column == other.column;
+               column == other.column && channel == other.channel;
     }
 };
 
 /**
- * MOP address mapper for one channel.
+ * Where the channel bits sit in the interleaved bit layout.
  *
- * Bit layout from LSB to MSB (after the 6 line-offset bits):
- * [mop column bits][bank][bank group][rank][high column bits][row].
+ * kMop places them just above the MOP column bits, so consecutive MOP
+ * groups round-robin across channels (maximum channel-level parallelism
+ * for streaming traffic). kRow places them just below the row bits, so a
+ * whole row's worth of lines stays in one channel (channel affinity for
+ * row-local working sets).
  */
-class AddressMapper
+enum class Interleave
+{
+    kMop,
+    kRow,
+};
+
+/** Stable lower-case scheme name ("mop", "row"). */
+const char *interleaveName(Interleave il);
+
+/** Parse a scheme name; returns false and leaves *out alone on bad input. */
+bool parseInterleave(const std::string &name, Interleave *out);
+
+/** All schemes, for sweeping tests over the full set. */
+inline constexpr Interleave kAllInterleaves[] = {Interleave::kMop,
+                                                 Interleave::kRow};
+
+/**
+ * MOP address map across one or more channels.
+ *
+ * Bit layout from LSB to MSB (after the 6 line-offset bits), kMop scheme:
+ * [mop column bits][channel][bank][bank group][rank][high column bits][row];
+ * kRow scheme moves the channel bits just below the row bits. With one
+ * channel both schemes degenerate to the historical single-channel layout
+ * bit for bit.
+ */
+class AddressMap
 {
   public:
     /**
-     * @param org Channel organization.
+     * @param org Organization (org.channels > 1 enables channel bits).
      * @param mop_lines Consecutive cache lines kept in one bank (power of 2).
+     * @param il Channel-bit placement scheme.
      */
-    explicit AddressMapper(const DramOrg &org, unsigned mop_lines = 4);
+    explicit AddressMap(const DramOrg &org, unsigned mop_lines = 4,
+                        Interleave il = Interleave::kMop);
 
     /** Decode a byte address into DRAM coordinates. */
     DramAddress decode(Addr addr) const;
@@ -55,7 +89,7 @@ class AddressMapper
     /** Encode DRAM coordinates back into a byte address (offset 0). */
     Addr encode(const DramAddress &da) const;
 
-    /** Flat bank index in [0, org.totalBanks()). */
+    /** Flat channel-local bank index in [0, org.totalBanks()). */
     unsigned
     flatBank(const DramAddress &da) const
     {
@@ -64,16 +98,24 @@ class AddressMapper
                da.bank;
     }
 
-    /** Number of addressable bytes (addresses wrap above this). */
-    std::uint64_t capacityBytes() const { return org_.capacityBytes(); }
+    /** Number of addressable bytes over all channels (addresses wrap). */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return org_.capacityBytes() * org_.channels;
+    }
 
     const DramOrg &org() const { return org_; }
+
+    Interleave interleave() const { return interleave_; }
 
   private:
     static unsigned log2u(unsigned v);
 
     DramOrg org_;
+    Interleave interleave_;
     unsigned mopBits;
+    unsigned chBits;
     unsigned bankBits;
     unsigned bgBits;
     unsigned rankBits;

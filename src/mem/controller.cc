@@ -14,9 +14,10 @@ constexpr std::uint64_t kNoSeq = static_cast<std::uint64_t>(-1);
 } // namespace
 
 MemoryController::MemoryController(const DramSpec &spec,
-                                   const AddressMapper &mapper,
-                                   const McConfig &config)
-    : spec_(spec), mapper(mapper), config_(config), engine_(spec),
+                                   const AddressMap &mapper,
+                                   const McConfig &config, unsigned channel)
+    : spec_(spec), mapper(mapper), config_(config), channel_(channel),
+      engine_(spec),
       readQ(spec.org.totalBanks()),
       writeQ(spec.org.totalBanks()),
       readScan(spec.org.totalBanks()),
@@ -40,6 +41,7 @@ MemoryController::enqueueRead(Request req, Cycle now)
 {
     BH_ASSERT(canEnqueueRead(), "read queue overflow");
     req.da = mapper.decode(req.addr);
+    BH_ASSERT(req.da.channel == channel_, "read routed to wrong channel");
     req.flatBank = mapper.flatBank(req.da);
     req.enqueueCycle = now;
     readQ.push(req);
@@ -51,6 +53,7 @@ MemoryController::enqueueWrite(Request req, Cycle now)
 {
     BH_ASSERT(canEnqueueWrite(), "write queue overflow");
     req.da = mapper.decode(req.addr);
+    BH_ASSERT(req.da.channel == channel_, "write routed to wrong channel");
     req.flatBank = mapper.flatBank(req.da);
     req.enqueueCycle = now;
     writeQ.push(req);

@@ -147,8 +147,15 @@ class BankedRequestQueue
 class MemoryController : public IMitigationHost
 {
   public:
-    MemoryController(const DramSpec &spec, const AddressMapper &mapper,
-                     const McConfig &config);
+    /**
+     * @param channel This controller's channel index in [0, org.channels);
+     *        enqueued requests must decode to it.
+     */
+    MemoryController(const DramSpec &spec, const AddressMap &mapper,
+                     const McConfig &config, unsigned channel = 0);
+
+    /** Channel index this controller serves. */
+    unsigned channel() const { return channel_; }
 
     /** Space in the read queue? */
     bool
@@ -329,8 +336,9 @@ class MemoryController : public IMitigationHost
                            Cycle now) const;
 
     DramSpec spec_;
-    const AddressMapper &mapper;
+    const AddressMap &mapper;
     McConfig config_;
+    unsigned channel_ = 0;
     TimingEngine engine_;
 
     BankedRequestQueue readQ;

@@ -85,6 +85,20 @@ samplingJobsStorage()
     return jobs;
 }
 
+std::mutex &
+channelMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+ChannelSpec &
+channelSpecStorage()
+{
+    static ChannelSpec spec;
+    return spec;
+}
+
 } // namespace
 
 std::uint64_t
@@ -198,7 +212,26 @@ resolveExperimentConfig(const ExperimentConfig &config)
         resolved.bh = scaledBreakHammerConfig(resolved.instructions);
     if (!resolved.sample.enabled())
         resolved.sample = samplingSpec();
+    ChannelSpec ch = channelSpec();
+    if (resolved.channels == 0)
+        resolved.channels = ch.channels ? ch.channels : 1;
+    if (resolved.ranks == 0)
+        resolved.ranks = ch.ranks ? ch.ranks : 2;
     return resolved;
+}
+
+void
+setChannelSpec(const ChannelSpec &spec)
+{
+    std::lock_guard<std::mutex> lock(channelMutex());
+    channelSpecStorage() = spec;
+}
+
+ChannelSpec
+channelSpec()
+{
+    std::lock_guard<std::mutex> lock(channelMutex());
+    return channelSpecStorage();
 }
 
 void
@@ -264,6 +297,13 @@ systemConfigFor(const ExperimentConfig &cfg)
     sys.numCores = static_cast<unsigned>(cfg.mix.slots.size());
     sys.spec = DramSpec::ddr5();
     applyTimingSideEffects(cfg.mechanism, cfg.nRh, &sys.spec);
+    // Organization overrides, resolved (non-zero) by the caller. Timing
+    // is organization-independent, so overriding after the side effects
+    // keeps the mechanism-specific tREFI/tRFC edits intact.
+    if (cfg.channels)
+        sys.spec.org.channels = cfg.channels;
+    if (cfg.ranks)
+        sys.spec.org.ranks = cfg.ranks;
     sys.mitigation = cfg.mechanism;
     sys.nRh = cfg.nRh;
     sys.breakHammer = cfg.breakHammer;
@@ -761,6 +801,19 @@ experimentKey(const ExperimentConfig &config)
             static_cast<unsigned long long>(config.sample.measure),
             static_cast<unsigned long long>(config.sample.fastForward));
         key += sbuf;
+    }
+    // Same append-only rule for the organization: only non-default
+    // channel/rank counts are spelled out (0 = unresolved default), so
+    // single-channel records keep their addresses while multi-channel
+    // runs can never alias them.
+    bool nondefault_channels = config.channels > 1;
+    bool nondefault_ranks = config.ranks != 0 && config.ranks != 2;
+    if (nondefault_channels || nondefault_ranks) {
+        char obuf[48];
+        std::snprintf(obuf, sizeof(obuf), "|ch=%u|rk=%u",
+                      config.channels ? config.channels : 1,
+                      config.ranks ? config.ranks : 2);
+        key += obuf;
     }
     return key;
 }

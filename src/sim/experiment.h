@@ -61,6 +61,15 @@ struct ExperimentConfig
     bool bluntThrottle = false;
     std::uint64_t seed = 1;
     /**
+     * DRAM scale-out overrides (power-of-two each). 0 = unset:
+     * resolveExperimentConfig() folds in the process-wide
+     * setChannelSpec() values, then the DDR5 defaults (1 channel,
+     * 2 ranks). Part of experimentKey() only away from the defaults, so
+     * legacy single-channel records keep their content addresses.
+     */
+    unsigned channels = 0;
+    unsigned ranks = 0;
+    /**
      * Interval sampling; disabled (exact simulation) by default. When
      * disabled here, resolveExperimentConfig() folds in the process-wide
      * spec from setSamplingSpec(). Part of experimentKey(), so sampled
@@ -219,6 +228,26 @@ void setSamplingJobs(unsigned jobs);
 
 /** The current sampling worker-thread count. */
 unsigned samplingJobs();
+
+/**
+ * Process-wide DRAM channel/rank overrides (the bh_bench --channels and
+ * --ranks flags route through this, like --sample via setSamplingSpec).
+ * Folded into any config whose own fields are 0 by
+ * resolveExperimentConfig(). Solo-IPC baselines deliberately stay on the
+ * default single-channel organization: weighted speedup compares against
+ * the same denominator across the channel-count axis.
+ */
+struct ChannelSpec
+{
+    unsigned channels = 0; ///< 0 = default (1 channel).
+    unsigned ranks = 0;    ///< 0 = default (2 ranks).
+};
+
+/** Install the process-wide channel spec (thread-safe). */
+void setChannelSpec(const ChannelSpec &spec);
+
+/** The current process-wide channel spec. */
+ChannelSpec channelSpec();
 
 /** Snapshot file of @p config (resolved) inside checkpoint dir @p dir. */
 std::string snapshotPath(const std::string &dir,

@@ -44,7 +44,7 @@ RunResult::benignIpcs() const
 System::System(const SystemConfig &config,
                const std::vector<WorkloadSlot> &slots)
     : config_(config),
-      mapper(config.spec.org),
+      mapper(config.spec.org, 4, config.interleave),
       llc(config.llc),
       mshr(config.mshrEntries, config.numCores),
       slots_(slots)
@@ -52,50 +52,65 @@ System::System(const SystemConfig &config,
     BH_ASSERT(slots.size() == config.numCores,
               "one workload slot per core required");
 
-    mc = std::make_unique<MemoryController>(config_.spec, mapper,
-                                            config_.mc);
-
-    mitigation = createMitigation(config_.mitigation, config_.nRh,
-                                  config_.spec, config_.numCores);
-    if (mitigation != nullptr)
-        mc->setMitigation(mitigation.get());
-
-    if (config_.breakHammer) {
+    const unsigned channels = config_.spec.org.channels;
+    if (config_.breakHammer)
         bh = std::make_unique<BreakHammer>(config_.numCores, config_.bh,
                                            &mshr);
-        mc->setObserver(bh.get());
-    }
 
-    // BlockHammer's AttackThrottler shares the MSHR throttle point.
-    if (auto *bhm = dynamic_cast<BlockHammer *>(mitigation.get()))
-        bhm->setThrottleTarget(&mshr);
+    for (unsigned ch = 0; ch < channels; ++ch) {
+        mcs.push_back(std::make_unique<MemoryController>(
+            config_.spec, mapper, config_.mc, ch));
+        MemoryController *mc = mcs.back().get();
 
-    if (config_.enableOracle) {
-        oracle = std::make_unique<HammerOracle>(config_.spec.org,
-                                                config_.nRh);
-        mc->onRowProtected = [this](unsigned bank, unsigned row) {
-            oracle->onRowProtected(bank, row);
+        // One mitigation instance per channel: tracking tables index flat
+        // (rank-major) banks, so per-rank state lives inside the channel's
+        // instance exactly as it does on a single-channel part.
+        mitigations.push_back(createMitigation(config_.mitigation,
+                                               config_.nRh, config_.spec,
+                                               config_.numCores));
+        if (mitigations.back() != nullptr)
+            mc->setMitigation(mitigations.back().get());
+
+        if (bh)
+            mc->setObserver(bh.get());
+
+        // BlockHammer's AttackThrottler shares the MSHR throttle point.
+        if (auto *bhm = dynamic_cast<BlockHammer *>(mitigations.back().get()))
+            bhm->setThrottleTarget(&mshr);
+
+        if (config_.enableOracle) {
+            oracles.push_back(std::make_unique<HammerOracle>(
+                config_.spec.org, config_.nRh));
+            HammerOracle *oracle = oracles.back().get();
+            mc->onRowProtected = [oracle](unsigned bank, unsigned row) {
+                oracle->onRowProtected(bank, row);
+            };
+        }
+        if (config_.enableCensus)
+            censuses.push_back(
+                std::make_unique<RowCensus>(msToCycles(64.0)));
+
+        HammerOracle *oracle =
+            config_.enableOracle ? oracles.back().get() : nullptr;
+        RowCensus *census =
+            config_.enableCensus ? censuses.back().get() : nullptr;
+        mc->onDemandAct = [oracle, census](unsigned bank, unsigned row,
+                                           ThreadId thread, Cycle cycle) {
+            (void)thread;
+            if (oracle)
+                oracle->onActivate(bank, row);
+            if (census)
+                census->recordAct(bank, row, cycle);
+        };
+        mc->onPeriodicRefresh = [oracle](unsigned rank, unsigned start,
+                                         unsigned rows) {
+            if (oracle)
+                oracle->onRefreshSweep(rank, start, rows);
+        };
+        mc->onReadComplete = [this](const Request &req, Cycle done) {
+            handleReadComplete(req, done);
         };
     }
-    if (config_.enableCensus)
-        census = std::make_unique<RowCensus>(msToCycles(64.0));
-
-    mc->onDemandAct = [this](unsigned bank, unsigned row, ThreadId thread,
-                             Cycle cycle) {
-        (void)thread;
-        if (oracle)
-            oracle->onActivate(bank, row);
-        if (census)
-            census->recordAct(bank, row, cycle);
-    };
-    mc->onPeriodicRefresh = [this](unsigned rank, unsigned start,
-                                   unsigned rows) {
-        if (oracle)
-            oracle->onRefreshSweep(rank, start, rows);
-    };
-    mc->onReadComplete = [this](const Request &req, Cycle done) {
-        handleReadComplete(req, done);
-    };
 
     // Each core slot owns a private row region so apps never share rows.
     unsigned region = config_.spec.org.rowsPerBank / (config_.numCores * 2);
@@ -124,6 +139,24 @@ System::System(const SystemConfig &config,
 
 System::~System() = default;
 
+unsigned
+System::channelOf(Addr addr) const
+{
+    // A single-channel map always decodes channel 0; skip the decode.
+    if (mcs.size() == 1)
+        return 0;
+    return mapper.decode(addr).channel;
+}
+
+bool
+System::allChannelsHaveWriteRoom() const
+{
+    for (const auto &mc : mcs)
+        if (!mc->canEnqueueWrite())
+            return false;
+    return true;
+}
+
 AccessOutcome
 System::load(ThreadId thread, Addr addr, bool uncached, std::uint64_t token)
 {
@@ -136,7 +169,8 @@ System::load(ThreadId thread, Addr addr, bool uncached, std::uint64_t token)
             rejectTouchesLlc[thread] = false;
             return AccessOutcome::kRejected;
         }
-        if (!mc->canEnqueueRead()) {
+        MemoryController &mc = *mcs[channelOf(addr)];
+        if (!mc.canEnqueueRead()) {
             rejectCountsQuota[thread] = false;
             rejectTouchesLlc[thread] = false;
             return AccessOutcome::kRejected;
@@ -150,7 +184,7 @@ System::load(ThreadId thread, Addr addr, bool uncached, std::uint64_t token)
         req.thread = thread;
         req.token = key;
         req.uncached = true;
-        mc->enqueueRead(req, now);
+        mc.enqueueRead(req, now);
         return AccessOutcome::kQueued;
     }
 
@@ -177,10 +211,14 @@ System::load(ThreadId thread, Addr addr, bool uncached, std::uint64_t token)
         rejectTouchesLlc[thread] = true;
         return AccessOutcome::kRejected;
     }
-    if (!mc->canEnqueueRead() || !mc->canEnqueueWrite()) {
+    // Room for the fill read plus a worst-case writeback: the victim's
+    // channel is unknown until the LLC picks it, so all channels need
+    // write space (identical to the old check with one channel).
+    MemoryController &fill = *mcs[channelOf(line)];
+    if (!fill.canEnqueueRead() || !allChannelsHaveWriteRoom()) {
         rejectCountsQuota[thread] = false;
         rejectTouchesLlc[thread] = true;
-        return AccessOutcome::kRejected; // Room for a worst-case writeback.
+        return AccessOutcome::kRejected;
     }
 
     Llc::Victim victim;
@@ -190,7 +228,7 @@ System::load(ThreadId thread, Addr addr, bool uncached, std::uint64_t token)
         wb.type = Request::Type::kWrite;
         wb.addr = victim.writebackLine;
         wb.thread = thread;
-        mc->enqueueWrite(wb, now);
+        mcs[channelOf(victim.writebackLine)]->enqueueWrite(wb, now);
     }
     mshr.allocate(line, thread, false);
     mshr.merge(line, MshrWaiter{thread, token, true}, false);
@@ -200,7 +238,7 @@ System::load(ThreadId thread, Addr addr, bool uncached, std::uint64_t token)
     req.addr = line;
     req.thread = thread;
     req.token = line;
-    mc->enqueueRead(req, now);
+    fill.enqueueRead(req, now);
     return AccessOutcome::kQueued;
 }
 
@@ -208,7 +246,8 @@ AccessOutcome
 System::store(ThreadId thread, Addr addr, bool uncached)
 {
     if (uncached) {
-        if (!mc->canEnqueueWrite()) {
+        MemoryController &mc = *mcs[channelOf(addr)];
+        if (!mc.canEnqueueWrite()) {
             rejectCountsQuota[thread] = false;
             rejectTouchesLlc[thread] = false;
             return AccessOutcome::kRejected;
@@ -218,7 +257,7 @@ System::store(ThreadId thread, Addr addr, bool uncached)
         req.addr = addr;
         req.thread = thread;
         req.uncached = true;
-        mc->enqueueWrite(req, now);
+        mc.enqueueWrite(req, now);
         return AccessOutcome::kHit;
     }
 
@@ -238,7 +277,8 @@ System::store(ThreadId thread, Addr addr, bool uncached)
         rejectTouchesLlc[thread] = true;
         return AccessOutcome::kRejected;
     }
-    if (!mc->canEnqueueRead() || !mc->canEnqueueWrite()) {
+    MemoryController &fill = *mcs[channelOf(line)];
+    if (!fill.canEnqueueRead() || !allChannelsHaveWriteRoom()) {
         rejectCountsQuota[thread] = false;
         rejectTouchesLlc[thread] = true;
         return AccessOutcome::kRejected;
@@ -251,7 +291,7 @@ System::store(ThreadId thread, Addr addr, bool uncached)
         wb.type = Request::Type::kWrite;
         wb.addr = victim.writebackLine;
         wb.thread = thread;
-        mc->enqueueWrite(wb, now);
+        mcs[channelOf(victim.writebackLine)]->enqueueWrite(wb, now);
     }
     mshr.allocate(line, thread, true);
 
@@ -260,7 +300,7 @@ System::store(ThreadId thread, Addr addr, bool uncached)
     req.addr = line;
     req.thread = thread;
     req.token = line;
-    mc->enqueueRead(req, now);
+    fill.enqueueRead(req, now);
     return AccessOutcome::kHit;
 }
 
@@ -283,10 +323,16 @@ void
 System::fillRejectSnapshot(RejectSnapshot *snap) const
 {
     snap->mshrInflight = mshr.totalInflight();
-    snap->readDepth = mc->readQueueDepth();
-    snap->writeDepth = mc->writeQueueDepth();
-    snap->readsServed = mc->readsServed();
-    snap->writesServed = mc->writesServed();
+    snap->readDepth.clear();
+    snap->writeDepth.clear();
+    snap->readsServed.clear();
+    snap->writesServed.clear();
+    for (const auto &mc : mcs) {
+        snap->readDepth.push_back(mc->readQueueDepth());
+        snap->writeDepth.push_back(mc->writeQueueDepth());
+        snap->readsServed.push_back(mc->readsServed());
+        snap->writesServed.push_back(mc->writesServed());
+    }
     snap->completedReads = completedReads;
     snap->quotaWrites = mshr.quotaWrites();
     snap->quotas.clear();
@@ -300,7 +346,9 @@ System::fillRejectSnapshot(RejectSnapshot *snap) const
 Cycle
 System::nextWakeCycle() const
 {
-    Cycle wake = mc->nextEventCycle(now);
+    Cycle wake = mcs[0]->nextEventCycle(now);
+    for (std::size_t ch = 1; ch < mcs.size(); ++ch)
+        wake = std::min(wake, mcs[ch]->nextEventCycle(now));
     for (const auto &core : cores)
         wake = std::min(wake, core->nextEventCycle(now));
     if (bh) {
@@ -326,7 +374,8 @@ System::accountSkippedCycles(Cycle skipped)
         if (rejectTouchesLlc[i])
             llc.addMisses(skipped); // Each retry probes and misses.
     }
-    mc->accountSkippedCycles(now + 1, now + skipped);
+    for (auto &mc : mcs)
+        mc->accountSkippedCycles(now + 1, now + skipped);
 }
 
 RunResult
@@ -436,7 +485,8 @@ System::runLoop(Cycle max_cycles, std::uint64_t ipc_target)
             if (core->benign() && !core->reachedTarget())
                 all_done = false;
         }
-        mc->tick(now);
+        for (auto &mc : mcs)
+            mc->tick(now);
         if (bh && isRollCycle(now))
             bh->rollWindows(now);
         if (all_done)
@@ -480,11 +530,15 @@ System::runLoop(Cycle max_cycles, std::uint64_t ipc_target)
     RunResult result;
     result.cycles = now;
     result.hitCycleCap = now >= max_cycles;
-    const EnergyAccounting &energy = mc->engine().energy();
-    result.energyNj = energy.totalNj(now, config_.spec.org.ranks);
-    result.preventiveEnergyNj = energy.preventiveNj();
-    result.preventiveActions = mc->preventiveActions();
-    result.demandActs = mc->demandActs();
+    // Aggregate over channels: energies and action counts sum (each
+    // channel's background term covers that channel's own ranks).
+    for (const auto &mc : mcs) {
+        const EnergyAccounting &energy = mc->engine().energy();
+        result.energyNj += energy.totalNj(now, config_.spec.org.ranks);
+        result.preventiveEnergyNj += energy.preventiveNj();
+        result.preventiveActions += mc->preventiveActions();
+        result.demandActs += mc->demandActs();
+    }
     result.suspectMarks = bh ? bh->suspectMarks() : 0;
     result.quotaRejections = mshr.quotaRejections();
     if (bh) {
@@ -493,12 +547,30 @@ System::runLoop(Cycle max_cycles, std::uint64_t ipc_target)
             result.bhQuotas.push_back(bh->quota(t));
         }
     }
-    result.oracleViolations = oracle ? oracle->violations() : 0;
-    result.oracleMaxCount = oracle ? oracle->maxCount() : 0;
+    // Oracle: violations sum, the hottest row is the max across channels.
+    for (const auto &oracle : oracles) {
+        result.oracleViolations += oracle->violations();
+        result.oracleMaxCount =
+            std::max(result.oracleMaxCount, oracle->maxCount());
+    }
     result.benignReadLatencyNs = latencyHist;
-    if (census) {
-        census->flush(now);
-        result.censusWindows = census->windows();
+    if (!censuses.empty()) {
+        // Censuses run on the same window grid; merge element-wise,
+        // padding to the longest channel's window list.
+        for (const auto &census : censuses)
+            census->flush(now);
+        for (const auto &census : censuses) {
+            const auto &windows = census->windows();
+            if (windows.size() > result.censusWindows.size())
+                result.censusWindows.resize(windows.size());
+            for (std::size_t i = 0; i < windows.size(); ++i) {
+                RowCensus::WindowSummary &w = result.censusWindows[i];
+                w.totalActs += windows[i].totalActs;
+                w.rows512 += windows[i].rows512;
+                w.rows128 += windows[i].rows128;
+                w.rows64 += windows[i].rows64;
+            }
+        }
     }
 
     for (unsigned i = 0; i < cores.size(); ++i) {
@@ -640,43 +712,52 @@ System::fastForward(std::uint64_t delta_insts)
     // Drop all in-flight timing state as one coupled set: a stale
     // completion routed to a cleared core slot would be fatal.
     mshr.clearInflight();
-    mc->beginFastForward();
+    for (auto &mc : mcs)
+        mc->beginFastForward();
     for (auto &core : cores)
         core->resetPipeline();
 
-    FastForwardHost host;
-    host.observer = bh.get();
-    host.oracle = oracle.get();
-    host.now = start;
-    if (mitigation)
-        mitigation->setHost(&host);
-
-    // Functional open-row table, seeded from the timing engine's last
-    // detailed view. Row transitions here are what drive the warming
-    // commits below; the engine's own bank state is left as-is and
-    // re-converges during the detailed warm-up phase that follows.
-    unsigned banks = config_.spec.org.totalBanks();
-    std::vector<long> openRow(banks, -1);
-    for (unsigned fb = 0; fb < banks; ++fb) {
-        const BankState &bank = mc->engine().bank(fb);
-        if (bank.open)
-            openRow[fb] = static_cast<long>(bank.openRow);
+    // One host per channel so row protections route to that channel's
+    // oracle; BreakHammer observes them all.
+    std::vector<FastForwardHost> hosts(mcs.size());
+    for (std::size_t ch = 0; ch < mcs.size(); ++ch) {
+        hosts[ch].observer = bh.get();
+        hosts[ch].oracle = oracles.empty() ? nullptr : oracles[ch].get();
+        hosts[ch].now = start;
+        if (mitigations[ch])
+            mitigations[ch]->setHost(&hosts[ch]);
     }
+
+    // Functional open-row table, seeded from the timing engines' last
+    // detailed view, indexed [channel * banks + flat bank]. Row
+    // transitions here are what drive the warming commits below; the
+    // engines' own bank state is left as-is and re-converges during the
+    // detailed warm-up phase that follows.
+    unsigned banks = config_.spec.org.totalBanks();
+    std::vector<long> openRow(mcs.size() * banks, -1);
+    for (std::size_t ch = 0; ch < mcs.size(); ++ch)
+        for (unsigned fb = 0; fb < banks; ++fb) {
+            const BankState &bank = mcs[ch]->engine().bank(fb);
+            if (bank.open)
+                openRow[ch * banks + fb] =
+                    static_cast<long>(bank.openRow);
+        }
 
     auto dramAccess = [&](Addr addr, ThreadId thread, Cycle at) {
         DramAddress da = mapper.decode(addr);
         unsigned fb = mapper.flatBank(da);
-        if (openRow[fb] == static_cast<long>(da.row))
+        unsigned ch = da.channel;
+        if (openRow[ch * banks + fb] == static_cast<long>(da.row))
             return;
-        openRow[fb] = static_cast<long>(da.row);
-        if (oracle)
-            oracle->onActivate(fb, da.row);
-        if (census)
-            census->recordAct(fb, da.row, at);
+        openRow[ch * banks + fb] = static_cast<long>(da.row);
+        if (!oracles.empty())
+            oracles[ch]->onActivate(fb, da.row);
+        if (!censuses.empty())
+            censuses[ch]->recordAct(fb, da.row, at);
         if (bh)
             bh->onDemandActivate(thread, fb, at);
-        if (mitigation)
-            mitigation->commitAct(fb, da.row, thread, at);
+        if (mitigations[ch])
+            mitigations[ch]->commitAct(fb, da.row, thread, at);
     };
     auto touch = [&](ThreadId thread, const TraceRecord &r, Cycle at) {
         if (r.uncached) {
@@ -700,7 +781,8 @@ System::fastForward(std::uint64_t delta_insts)
     Cycle t = start;
     while (t < end) {
         Cycle next = std::min<Cycle>(end, nextRollCycleAtOrAfter(t + 1));
-        host.now = next;
+        for (auto &host : hosts)
+            host.now = next;
         for (unsigned i = 0; i < cores.size(); ++i) {
             std::uint64_t planned =
                 next == end
@@ -717,14 +799,16 @@ System::fastForward(std::uint64_t delta_insts)
                 advanced[i] = planned;
             }
         }
-        mc->fastForwardTo(next);
+        for (auto &mc : mcs)
+            mc->fastForwardTo(next);
         if (bh && isRollCycle(next))
             bh->rollWindows(next);
         t = next;
     }
 
-    if (mitigation)
-        mitigation->setHost(mc.get());
+    for (std::size_t ch = 0; ch < mcs.size(); ++ch)
+        if (mitigations[ch])
+            mitigations[ch]->setHost(mcs[ch].get());
     now = end;
     fillRejectSnapshot(&prevSnap);
 }
@@ -746,6 +830,8 @@ System::configFingerprint() const
     // only as a function of mechanism + nRh, both included).
     StateWriter w;
     w.u64(config_.numCores);
+    w.u64(config_.spec.org.channels);
+    w.u64(static_cast<std::uint64_t>(config_.interleave));
     w.u64(config_.spec.org.ranks);
     w.u64(config_.spec.org.bankGroups);
     w.u64(config_.spec.org.banksPerGroup);
@@ -812,10 +898,10 @@ System::saveState(StateWriter &w) const
     // run on the interrupted run's exact skip trajectory.
     w.tag("rejectsnap");
     w.u64(prevSnap.mshrInflight);
-    w.u64(prevSnap.readDepth);
-    w.u64(prevSnap.writeDepth);
-    w.u64(prevSnap.readsServed);
-    w.u64(prevSnap.writesServed);
+    saveU64VectorBulk(w, prevSnap.readDepth);
+    saveU64VectorBulk(w, prevSnap.writeDepth);
+    saveU64VectorBulk(w, prevSnap.readsServed);
+    saveU64VectorBulk(w, prevSnap.writesServed);
     w.u64(prevSnap.completedReads);
     w.u64(prevSnap.quotaWrites);
     saveUnsignedVector(w, prevSnap.quotas);
@@ -823,20 +909,27 @@ System::saveState(StateWriter &w) const
 
     llc.saveState(w);
     mshr.saveState(w);
-    mc->saveState(w);
 
-    w.b(mitigation != nullptr);
-    if (mitigation)
-        mitigation->saveState(w);
+    // One section per channel: controller, then its mitigation/oracle/
+    // census instances (presence flags match the constructed graph).
+    w.tag("channels");
+    w.u64(mcs.size());
+    for (std::size_t ch = 0; ch < mcs.size(); ++ch) {
+        mcs[ch]->saveState(w);
+        w.b(mitigations[ch] != nullptr);
+        if (mitigations[ch])
+            mitigations[ch]->saveState(w);
+        w.b(!oracles.empty());
+        if (!oracles.empty())
+            oracles[ch]->saveState(w);
+        w.b(!censuses.empty());
+        if (!censuses.empty())
+            censuses[ch]->saveState(w);
+    }
+
     w.b(bh != nullptr);
     if (bh)
         bh->saveState(w);
-    w.b(oracle != nullptr);
-    if (oracle)
-        oracle->saveState(w);
-    w.b(census != nullptr);
-    if (census)
-        census->saveState(w);
 
     w.u64(cores.size());
     for (const auto &core : cores)
@@ -861,10 +954,10 @@ System::loadState(StateReader &r)
 
     r.tag("rejectsnap");
     prevSnap.mshrInflight = static_cast<unsigned>(r.u64());
-    prevSnap.readDepth = r.u64();
-    prevSnap.writeDepth = r.u64();
-    prevSnap.readsServed = r.u64();
-    prevSnap.writesServed = r.u64();
+    loadU64VectorBulk(r, &prevSnap.readDepth);
+    loadU64VectorBulk(r, &prevSnap.writeDepth);
+    loadU64VectorBulk(r, &prevSnap.readsServed);
+    loadU64VectorBulk(r, &prevSnap.writesServed);
     prevSnap.completedReads = r.u64();
     prevSnap.quotaWrites = r.u64();
     loadUnsignedVector(r, &prevSnap.quotas);
@@ -872,32 +965,40 @@ System::loadState(StateReader &r)
 
     llc.loadState(r);
     mshr.loadState(r);
-    mc->loadState(r);
 
-    if (r.b() != (mitigation != nullptr)) {
+    r.tag("channels");
+    if (r.u64() != mcs.size()) {
         r.fail();
         return;
     }
-    if (mitigation)
-        mitigation->loadState(r);
+    for (std::size_t ch = 0; ch < mcs.size(); ++ch) {
+        mcs[ch]->loadState(r);
+        if (r.b() != (mitigations[ch] != nullptr)) {
+            r.fail();
+            return;
+        }
+        if (mitigations[ch])
+            mitigations[ch]->loadState(r);
+        if (r.b() != !oracles.empty()) {
+            r.fail();
+            return;
+        }
+        if (!oracles.empty())
+            oracles[ch]->loadState(r);
+        if (r.b() != !censuses.empty()) {
+            r.fail();
+            return;
+        }
+        if (!censuses.empty())
+            censuses[ch]->loadState(r);
+    }
+
     if (r.b() != (bh != nullptr)) {
         r.fail();
         return;
     }
     if (bh)
         bh->loadState(r);
-    if (r.b() != (oracle != nullptr)) {
-        r.fail();
-        return;
-    }
-    if (oracle)
-        oracle->loadState(r);
-    if (r.b() != (census != nullptr)) {
-        r.fail();
-        return;
-    }
-    if (census)
-        census->loadState(r);
 
     if (r.u64() != cores.size()) {
         r.fail();

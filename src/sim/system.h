@@ -52,6 +52,8 @@ struct SystemConfig
 {
     unsigned numCores = 4;
     DramSpec spec = DramSpec::ddr5();
+    /** Channel-bit placement when spec.org.channels > 1. */
+    Interleave interleave = Interleave::kMop;
     LlcConfig llc;
     unsigned mshrEntries = 64;
     CoreConfig core;
@@ -148,8 +150,11 @@ class System : public ICoreMemory
     }
 
     /** Snapshot blob format version (bump on layout change).
-     *  v2: Histogram state gained the dropped-NaN-sample counter. */
-    static constexpr std::uint32_t kSnapshotVersion = 2;
+     *  v2: Histogram state gained the dropped-NaN-sample counter.
+     *  v3: per-channel controller/mitigation/oracle/census sections and
+     *      per-channel RejectSnapshot vectors (multi-channel scale-out);
+     *      stale v2 snapshots recompute, never mislead. */
+    static constexpr std::uint32_t kSnapshotVersion = 3;
 
     /** Mid-run checkpointing configuration (see setCheckpoint()). */
     struct CheckpointConfig
@@ -270,7 +275,11 @@ class System : public ICoreMemory
     AccessOutcome store(ThreadId thread, Addr addr, bool uncached) override;
 
     BreakHammer *breakHammer() { return bh.get(); }
-    MemoryController &controller() { return *mc; }
+    MemoryController &controller(unsigned ch = 0) { return *mcs[ch]; }
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(mcs.size());
+    }
     const SystemConfig &config() const { return config_; }
 
   private:
@@ -319,10 +328,12 @@ class System : public ICoreMemory
     struct RejectSnapshot
     {
         unsigned mshrInflight = 0;
-        std::size_t readDepth = 0;
-        std::size_t writeDepth = 0;
-        std::uint64_t readsServed = 0;
-        std::uint64_t writesServed = 0;
+        /** Per channel, indexed like mcs — scalar-per-channel vectors so
+         *  compensating changes across channels can never alias. */
+        std::vector<std::uint64_t> readDepth;
+        std::vector<std::uint64_t> writeDepth;
+        std::vector<std::uint64_t> readsServed;
+        std::vector<std::uint64_t> writesServed;
         std::uint64_t completedReads = 0;
         std::uint64_t quotaWrites = 0;
         std::vector<unsigned> quotas;
@@ -353,15 +364,26 @@ class System : public ICoreMemory
      */
     void accountSkippedCycles(Cycle skipped);
 
+    /** Channel that owns @p addr (0 with a single-channel map). */
+    unsigned channelOf(Addr addr) const;
+
+    /** Worst-case writeback room: write space on every channel. */
+    bool allChannelsHaveWriteRoom() const;
+
     SystemConfig config_;
-    AddressMapper mapper;
-    std::unique_ptr<MemoryController> mc;
+    AddressMap mapper;
+    /** One controller per channel, index == channel id. Mitigation,
+     *  oracle, and census instances pair with controllers one-to-one
+     *  (tables are per-channel structures; flat banks are channel-local,
+     *  so per-rank state lives in each channel's instance). BreakHammer
+     *  is shared: it scores threads, not banks. */
+    std::vector<std::unique_ptr<MemoryController>> mcs;
     Llc llc;
     MshrFile mshr;
-    std::unique_ptr<IMitigation> mitigation;
+    std::vector<std::unique_ptr<IMitigation>> mitigations;
     std::unique_ptr<BreakHammer> bh;
-    std::unique_ptr<HammerOracle> oracle;
-    std::unique_ptr<RowCensus> census;
+    std::vector<std::unique_ptr<HammerOracle>> oracles;
+    std::vector<std::unique_ptr<RowCensus>> censuses;
 
     std::vector<std::unique_ptr<TraceSource>> traces;
     std::vector<std::unique_ptr<Core>> cores;

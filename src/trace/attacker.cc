@@ -5,24 +5,28 @@
 namespace bh {
 
 AttackerTrace::AttackerTrace(const AttackerConfig &config,
-                             const AddressMapper &mapper, std::uint64_t seed)
+                             const AddressMap &mapper, std::uint64_t seed)
     : config_(config), mapper(mapper), rng(seed)
 {
     const DramOrg &org = mapper.org();
-    numBanks_ = config.numBanks ? std::min(config.numBanks, org.totalBanks())
-                                : org.totalBanks();
+    unsigned total_banks = org.totalBanks() * org.channels;
+    numBanks_ = config.numBanks ? std::min(config.numBanks, total_banks)
+                                : total_banks;
 
     rows.reserve(config.numAggressors);
     for (unsigned i = 0; i < config.numAggressors; ++i)
         rows.push_back(config.rowBase + i * config.rowSpacing);
 
     // One coordinate template per attacked bank, enumerating banks in
-    // rank-parallel order (alternate ranks first, then bank groups).
+    // channel- then rank-parallel order (alternate channels, then ranks,
+    // then bank groups) — with one channel this is the historical order.
     bankCoords.reserve(numBanks_);
     for (unsigned i = 0; i < numBanks_; ++i) {
         DramAddress da;
-        da.rank = i % org.ranks;
-        unsigned within = i / org.ranks;
+        da.channel = i % org.channels;
+        unsigned flat = i / org.channels;
+        da.rank = flat % org.ranks;
+        unsigned within = flat / org.ranks;
         da.bankGroup = within % org.bankGroups;
         da.bank = (within / org.bankGroups) % org.banksPerGroup;
         bankCoords.push_back(da);

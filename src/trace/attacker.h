@@ -50,7 +50,7 @@ struct AttackerConfig
 class AttackerTrace : public TraceSource
 {
   public:
-    AttackerTrace(const AttackerConfig &config, const AddressMapper &mapper,
+    AttackerTrace(const AttackerConfig &config, const AddressMap &mapper,
                   std::uint64_t seed);
 
     TraceRecord next() override;
@@ -68,7 +68,7 @@ class AttackerTrace : public TraceSource
 
   private:
     AttackerConfig config_;
-    const AddressMapper &mapper;
+    const AddressMap &mapper;
     Rng rng;
     std::string name_ = "hammer_attacker";
     std::vector<unsigned> rows;

@@ -7,7 +7,7 @@
 namespace bh {
 
 BenignTrace::BenignTrace(const AppProfile &profile,
-                         const AddressMapper &mapper, unsigned row_base,
+                         const AddressMap &mapper, unsigned row_base,
                          unsigned row_span, std::uint64_t seed)
     : profile_(profile), mapper(mapper), rowBase(row_base), rng(seed)
 {
@@ -15,9 +15,11 @@ BenignTrace::BenignTrace(const AppProfile &profile,
     BH_ASSERT(row_span > 0, "benign trace needs a row region");
 
     // Bound the region so the working set matches the profile: the app
-    // only touches enough rows (across all banks) to cover its lines.
+    // only touches enough rows (across all banks of all channels) to
+    // cover its lines.
     std::uint64_t lines_per_row_layer =
-        static_cast<std::uint64_t>(org.totalBanks()) * org.linesPerRow;
+        static_cast<std::uint64_t>(org.totalBanks()) * org.linesPerRow *
+        org.channels;
     unsigned needed_rows = static_cast<unsigned>(std::max<std::uint64_t>(
         1, (profile.workingSetLines + lines_per_row_layer - 1) /
                lines_per_row_layer));
@@ -39,6 +41,7 @@ BenignTrace::encode(const RowRef &ref, unsigned column) const
     da.bank = ref.bank;
     da.row = ref.row;
     da.column = column;
+    da.channel = ref.channel;
     return mapper.encode(da);
 }
 
@@ -51,6 +54,10 @@ BenignTrace::randomRow()
     ref.bankGroup = static_cast<unsigned>(rng.nextBounded(org.bankGroups));
     ref.bank = static_cast<unsigned>(rng.nextBounded(org.banksPerGroup));
     ref.row = rowBase + static_cast<unsigned>(rng.nextBounded(rowSpan));
+    // Guarded draw: nextBounded(1) would still consume RNG state, which
+    // must not differ from the historical single-channel stream.
+    if (org.channels > 1)
+        ref.channel = static_cast<unsigned>(rng.nextBounded(org.channels));
     return ref;
 }
 
@@ -77,8 +84,12 @@ BenignTrace::next()
                     seqPos.bankGroup = 0;
                     if (++seqPos.rank >= org.ranks) {
                         seqPos.rank = 0;
-                        seqPos.row = rowBase +
-                                     (seqPos.row - rowBase + 1) % rowSpan;
+                        if (++seqPos.channel >= org.channels) {
+                            seqPos.channel = 0;
+                            seqPos.row =
+                                rowBase +
+                                (seqPos.row - rowBase + 1) % rowSpan;
+                        }
                     }
                 }
             }
@@ -110,6 +121,7 @@ BenignTrace::saveState(StateWriter &w) const
     w.u64(seqPos.bankGroup);
     w.u64(seqPos.bank);
     w.u64(seqPos.row);
+    w.u64(seqPos.channel);
     w.u64(seqColumn);
 }
 
@@ -123,6 +135,7 @@ BenignTrace::loadState(StateReader &r)
     pos.bankGroup = static_cast<unsigned>(r.u64());
     pos.bank = static_cast<unsigned>(r.u64());
     pos.row = static_cast<unsigned>(r.u64());
+    pos.channel = static_cast<unsigned>(r.u64());
     unsigned column = static_cast<unsigned>(r.u64());
     if (!r.ok())
         return;

@@ -8,7 +8,7 @@
  * (e.g., mcf-like workloads concentrate misses on thousands of hot rows,
  * libquantum-like workloads stream with almost no row reuse).
  *
- * Generators encode DRAM coordinates through the system's AddressMapper so
+ * Generators encode DRAM coordinates through the system's AddressMap so
  * that row-level behaviour (hot rows, streaming row reuse) is exact rather
  * than a statistical accident of bit slicing. Each core slot receives a
  * private row region so multi-programmed apps never share rows.
@@ -64,7 +64,7 @@ class BenignTrace : public TraceSource
      * @param row_span Rows (per bank) available to this app.
      * @param seed Per-instance RNG seed (determinism per core slot).
      */
-    BenignTrace(const AppProfile &profile, const AddressMapper &mapper,
+    BenignTrace(const AppProfile &profile, const AddressMap &mapper,
                 unsigned row_base, unsigned row_span, std::uint64_t seed);
 
     TraceRecord next() override;
@@ -78,13 +78,14 @@ class BenignTrace : public TraceSource
     struct RowRef
     {
         unsigned rank, bankGroup, bank, row;
+        unsigned channel = 0;
     };
 
     Addr encode(const RowRef &ref, unsigned column) const;
     RowRef randomRow();
 
     AppProfile profile_;
-    const AddressMapper &mapper;
+    const AddressMap &mapper;
     unsigned rowBase;
     unsigned rowSpan; ///< Rows per bank actually used (working-set bound).
     Rng rng;

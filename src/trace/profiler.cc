@@ -6,7 +6,7 @@
 namespace bh {
 
 TraceProfile
-profileTrace(TraceSource &source, const AddressMapper &mapper,
+profileTrace(TraceSource &source, const AddressMap &mapper,
              const LlcConfig &llc_config, std::uint64_t instructions,
              double window_megainsts)
 {

@@ -31,7 +31,7 @@ struct TraceProfile
 };
 
 /** Run @p instructions worth of @p source through the functional models. */
-TraceProfile profileTrace(TraceSource &source, const AddressMapper &mapper,
+TraceProfile profileTrace(TraceSource &source, const AddressMap &mapper,
                           const LlcConfig &llc_config,
                           std::uint64_t instructions,
                           double window_megainsts = 16.0);

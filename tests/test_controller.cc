@@ -60,7 +60,7 @@ class ControllerFixture : public ::testing::Test
     }
 
     DramSpec spec;
-    AddressMapper map;
+    AddressMap map;
     MemoryController mc;
     std::vector<Completion> completions;
     Cycle now = 0;

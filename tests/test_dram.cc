@@ -62,7 +62,7 @@ class AddressRoundtripTest : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(AddressRoundtripTest, DecodeEncodeRoundtrip)
 {
-    AddressMapper mapper(DramSpec::ddr5().org);
+    AddressMap mapper(DramSpec::ddr5().org);
     Rng rng(GetParam());
     for (int i = 0; i < 2000; ++i) {
         Addr addr = rng.next() % mapper.capacityBytes();
@@ -78,7 +78,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AddressRoundtripTest,
 TEST(AddressTest, FieldsWithinBounds)
 {
     DramOrg org = DramSpec::ddr5().org;
-    AddressMapper mapper(org);
+    AddressMap mapper(org);
     Rng rng(99);
     for (int i = 0; i < 5000; ++i) {
         DramAddress da = mapper.decode(rng.next());
@@ -93,7 +93,7 @@ TEST(AddressTest, FieldsWithinBounds)
 
 TEST(AddressTest, MopKeepsGroupsTogether)
 {
-    AddressMapper mapper(DramSpec::ddr5().org, 4);
+    AddressMap mapper(DramSpec::ddr5().org, 4);
     // Lines 0..3 share one (bank, row); line 4 moves to another bank.
     DramAddress first = mapper.decode(0);
     for (unsigned l = 1; l < 4; ++l) {
@@ -105,10 +105,117 @@ TEST(AddressTest, MopKeepsGroupsTogether)
     EXPECT_NE(mapper.flatBank(next), mapper.flatBank(first));
 }
 
+/**
+ * Property tests over every interleaving scheme x channel count: the
+ * address map must be a bijection between physical line addresses and
+ * (channel, rank, bank group, bank, row, column) tuples.
+ */
+class AddressSchemeTest
+    : public ::testing::TestWithParam<std::tuple<Interleave, unsigned>>
+{
+  protected:
+    Interleave scheme() const { return std::get<0>(GetParam()); }
+    unsigned channels() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(AddressSchemeTest, DecodeEncodeRoundtripAndBounds)
+{
+    DramOrg org = DramSpec::ddr5().org;
+    org.channels = channels();
+    AddressMap mapper(org, 4, scheme());
+    EXPECT_EQ(mapper.capacityBytes(),
+              org.capacityBytes() * static_cast<Addr>(channels()));
+    Rng rng(7 + channels());
+    for (int i = 0; i < 5000; ++i) {
+        Addr addr = rng.next() % mapper.capacityBytes();
+        Addr line = addr & ~static_cast<Addr>(kCacheLineBytes - 1);
+        DramAddress da = mapper.decode(addr);
+        EXPECT_LT(da.channel, channels());
+        EXPECT_LT(da.rank, org.ranks);
+        EXPECT_LT(da.bankGroup, org.bankGroups);
+        EXPECT_LT(da.bank, org.banksPerGroup);
+        EXPECT_LT(da.row, org.rowsPerBank);
+        EXPECT_LT(da.column, org.linesPerRow);
+        EXPECT_EQ(mapper.encode(da), line);
+    }
+}
+
+TEST_P(AddressSchemeTest, EncodeIsABijectionOnASmallOrg)
+{
+    // Small enough to enumerate every coordinate tuple: distinct tuples
+    // must encode to distinct line addresses (no collisions within any
+    // channel/rank/bank/row), covering the capacity exactly, and decode
+    // must invert every one of them.
+    DramOrg org = DramSpec::ddr5().org;
+    org.channels = channels();
+    org.rowsPerBank = 8;
+    org.linesPerRow = 4;
+    AddressMap mapper(org, 4, scheme());
+
+    std::uint64_t lines =
+        mapper.capacityBytes() / static_cast<Addr>(kCacheLineBytes);
+    std::vector<bool> seen(lines, false);
+    for (unsigned ch = 0; ch < org.channels; ++ch)
+        for (unsigned r = 0; r < org.ranks; ++r)
+            for (unsigned bg = 0; bg < org.bankGroups; ++bg)
+                for (unsigned b = 0; b < org.banksPerGroup; ++b)
+                    for (unsigned row = 0; row < org.rowsPerBank; ++row)
+                        for (unsigned col = 0; col < org.linesPerRow;
+                             ++col) {
+                            DramAddress da{r, bg, b, row, col};
+                            da.channel = ch;
+                            Addr addr = mapper.encode(da);
+                            ASSERT_LT(addr, mapper.capacityBytes());
+                            ASSERT_EQ(addr % kCacheLineBytes, 0u);
+                            std::uint64_t idx = addr / kCacheLineBytes;
+                            ASSERT_FALSE(seen[idx])
+                                << "two tuples collide at " << addr;
+                            seen[idx] = true;
+                            EXPECT_TRUE(mapper.decode(addr) == da);
+                        }
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(seen[i]) << "line " << i << " unreachable";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, AddressSchemeTest,
+    ::testing::Combine(::testing::ValuesIn(kAllInterleaves),
+                       ::testing::Values(1u, 2u, 4u)),
+    [](const auto &info) {
+        return std::string(interleaveName(std::get<0>(info.param))) + "_" +
+               std::to_string(std::get<1>(info.param)) + "ch";
+    });
+
+TEST(AddressTest, SingleChannelLayoutIsSchemeInvariant)
+{
+    // With one channel both schemes slice zero channel bits, so they
+    // must reproduce the legacy layout bit-for-bit — the anchor for
+    // default-configuration byte-identity.
+    DramOrg org = DramSpec::ddr5().org;
+    AddressMap mop(org, 4, Interleave::kMop);
+    AddressMap row(org, 4, Interleave::kRow);
+    Rng rng(1234);
+    for (int i = 0; i < 2000; ++i) {
+        Addr addr = rng.next() % mop.capacityBytes();
+        EXPECT_TRUE(mop.decode(addr) == row.decode(addr));
+    }
+}
+
+TEST(AddressTest, InterleaveNamesRoundTrip)
+{
+    for (Interleave il : kAllInterleaves) {
+        Interleave parsed;
+        ASSERT_TRUE(parseInterleave(interleaveName(il), &parsed));
+        EXPECT_EQ(parsed, il);
+    }
+    Interleave parsed;
+    EXPECT_FALSE(parseInterleave("diagonal", &parsed));
+}
+
 TEST(AddressTest, FlatBankCoversAllBanks)
 {
     DramOrg org = DramSpec::ddr5().org;
-    AddressMapper mapper(org);
+    AddressMap mapper(org);
     std::vector<bool> seen(org.totalBanks(), false);
     for (unsigned r = 0; r < org.ranks; ++r)
         for (unsigned bg = 0; bg < org.bankGroups; ++bg)

@@ -383,6 +383,10 @@ systemConfigFor(const ExperimentConfig &cfg)
     sys.bh = scaledBreakHammerConfig(cfg.instructions);
     sys.enableOracle = cfg.oracle;
     sys.seed = cfg.seed;
+    if (cfg.channels)
+        sys.spec.org.channels = cfg.channels;
+    if (cfg.ranks)
+        sys.spec.org.ranks = cfg.ranks;
     return sys;
 }
 
@@ -570,6 +574,105 @@ TEST(SystemSnapshotTest, DenseAndEventLoopsAcceptEachOthersSnapshots)
         ::unsetenv("BH_DENSE_TICK");
         expectRunResultsIdentical(reference, resumed);
     }
+    std::remove(snap.c_str());
+}
+
+TEST(SystemSnapshotTest, FourChannelKillResumeIsFieldExactPerChannel)
+{
+    // Multi-channel scale-out: kill a 4-channel Graphene+BreakHammer run
+    // mid-BreakHammer-window, resume from the last snapshot, and require
+    // not just identical results but a byte-identical serialized System —
+    // the snapshot blob carries one section per channel (controller,
+    // Graphene tables with per-rank flat-bank state, oracle, census) plus
+    // the shared BreakHammer scores, so blob equality is field-exact
+    // equality of every per-channel/per-rank structure.
+    ExperimentConfig cfg;
+    cfg.mix = makeMix("HHMA", 0);
+    cfg.mechanism = MitigationType::kGraphene;
+    cfg.nRh = 512;
+    cfg.breakHammer = true;
+    cfg.instructions = 5000;
+    cfg.channels = 4;
+    cfg.ranks = 2;
+    SystemConfig sys = systemConfigFor(cfg);
+    const Cycle cap = cfg.instructions * 150;
+
+    RunResult reference;
+    std::string reference_state;
+    {
+        System system(sys, cfg.mix.slots);
+        reference = system.run(cfg.instructions, cap);
+        reference_state = system.snapshotBlob();
+    }
+
+    std::string snap = tempPath("sys_four_channel.snap");
+    std::remove(snap.c_str());
+    {
+        // "Kill" mid-run: cut at half the reference cycle count, off any
+        // checkpoint boundary, leaving the last mid-window snapshot.
+        System system(sys, cfg.mix.slots);
+        System::CheckpointConfig ckpt;
+        ckpt.path = snap;
+        ckpt.everyInsts = 1500;
+        system.setCheckpoint(ckpt);
+        (void)system.run(cfg.instructions, reference.cycles / 2);
+    }
+    {
+        System system(sys, cfg.mix.slots);
+        std::string error;
+        ASSERT_TRUE(system.resumeFromSnapshot(snap, &error)) << error;
+        RunResult resumed = system.run(cfg.instructions, cap);
+        expectRunResultsIdentical(reference, resumed);
+        EXPECT_EQ(system.snapshotBlob(), reference_state);
+    }
+    std::remove(snap.c_str());
+}
+
+TEST(SystemSnapshotTest, StaleVersionSnapshotsAreRejected)
+{
+    // Regression for the v2 -> v3 format bump (per-channel sections): a
+    // snapshot carrying an older version number must be rejected by the
+    // version check itself — not by a downstream parse error — even when
+    // its checksum is valid. Stale snapshots recompute, never mislead.
+    ExperimentConfig cfg;
+    cfg.mix = makeMix("MMLL", 0);
+    cfg.mechanism = MitigationType::kNone;
+    cfg.nRh = 1024;
+    cfg.instructions = 2000;
+    SystemConfig sys = systemConfigFor(cfg);
+
+    std::string snap = tempPath("sys_stale_version.snap");
+    std::remove(snap.c_str());
+    {
+        System system(sys, cfg.mix.slots);
+        System::CheckpointConfig ckpt;
+        ckpt.path = snap;
+        ckpt.everyInsts = 500;
+        system.setCheckpoint(ckpt);
+        (void)system.run(cfg.instructions, cfg.instructions * 150);
+    }
+
+    std::string blob;
+    ASSERT_TRUE(readFile(snap, &blob));
+    // The u32 format version sits right after the magic string (u64
+    // length prefix + 8 magic bytes = offset 16). Patch it to the
+    // previous version and re-seal the trailing checksum so the version
+    // check is the only thing standing.
+    std::string stale = blob;
+    StateWriter version;
+    version.u32(System::kSnapshotVersion - 1);
+    ASSERT_EQ(version.data().size(), 4u);
+    stale.replace(16, 4, version.data());
+    std::uint64_t checksum = fnv1a64Chunked(stale.data(), stale.size() - 8);
+    StateWriter tail;
+    tail.u64(checksum);
+    stale.replace(stale.size() - 8, 8, tail.data());
+    ASSERT_TRUE(writeFileAtomic(snap, stale, nullptr));
+
+    System system(sys, cfg.mix.slots);
+    std::string error;
+    EXPECT_FALSE(system.resumeFromSnapshot(snap, &error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
     std::remove(snap.c_str());
 }
 

@@ -16,10 +16,10 @@
 namespace bh {
 namespace {
 
-AddressMapper &
+AddressMap &
 mapper()
 {
-    static AddressMapper m(DramSpec::ddr5().org);
+    static AddressMap m(DramSpec::ddr5().org);
     return m;
 }
 
