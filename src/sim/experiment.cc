@@ -276,6 +276,31 @@ checkpointSpec()
     return checkpointSpecStorage();
 }
 
+namespace {
+
+ProgressHook &
+progressHookStorage()
+{
+    static ProgressHook hook;
+    return hook;
+}
+
+} // namespace
+
+void
+setProgressHook(const ProgressHook &hook)
+{
+    std::lock_guard<std::mutex> lock(checkpointMutex());
+    progressHookStorage() = hook;
+}
+
+ProgressHook
+progressHook()
+{
+    std::lock_guard<std::mutex> lock(checkpointMutex());
+    return progressHookStorage();
+}
+
 std::string
 snapshotPath(const std::string &dir, const ExperimentConfig &config)
 {
@@ -723,6 +748,8 @@ runExperiment(const ExperimentConfig &config)
     auto system = std::make_unique<System>(sys, cfg.mix.slots);
 
     CheckpointSpec ckpt = checkpointSpec();
+    ProgressHook hook = progressHook();
+    System::CheckpointConfig cc;
     std::string snap_path;
     if (ckpt.enabled()) {
         // The identity ties a snapshot to the exact simulation semantics:
@@ -730,14 +757,25 @@ runExperiment(const ExperimentConfig &config)
         // which is bumped whenever results become non-reproducible. A
         // stale snapshot therefore falls back to recompute, exactly like
         // a stale store record.
-        System::CheckpointConfig cc;
         snap_path = snapshotPath(ckpt.dir, cfg);
         cc.path = snap_path;
         cc.everyInsts = ckpt.everyInsts;
         cc.everyCycles = ckpt.everyCycles;
         cc.identity = experimentKey(cfg) + "|store_schema=" +
                       std::to_string(ResultStore::kSchemaVersion);
+    }
+    if (hook.enabled()) {
+        // The heartbeat rides the checkpoint cadence machinery but is
+        // armed independently: snapshots and progress each work alone.
+        cc.progressEveryInsts = hook.everyInsts;
+        cc.onProgress = [fn = hook.fn, cfg,
+                         insts](std::uint64_t retired) {
+            fn(cfg, retired, insts);
+        };
+    }
+    if (ckpt.enabled() || hook.enabled())
         system->setCheckpoint(cc);
+    if (ckpt.enabled()) {
         std::string resume_error;
         if (!system->resumeFromSnapshot(snap_path, &resume_error)) {
             BH_LOG("snapshot %s: %s; computing from scratch",

@@ -208,6 +208,38 @@ void setCheckpointSpec(const CheckpointSpec &spec);
 CheckpointSpec checkpointSpec();
 
 /**
+ * Process-wide mid-simulation progress hook. When installed, every
+ * exact runExperiment() simulation invokes @p fn from inside the run
+ * loop each time the slowest benign core's retired-instruction count
+ * crosses a multiple of everyInsts — observation only, results are
+ * bit-identical with or without it. The sweep-service worker
+ * (svc/worker.h) uses this to heartbeat its coordinator lease while a
+ * long simulation blocks the thread; the fn must therefore be cheap,
+ * thread-safe (experiments run on scheduler workers), and must not call
+ * back into runExperiment(). Sampled runs do not fire it (their
+ * window driver owns the loop); lease deadlines must cover them.
+ */
+struct ProgressHook
+{
+    std::function<void(const ExperimentConfig &config,
+                       std::uint64_t retired, std::uint64_t target)>
+        fn;
+    std::uint64_t everyInsts = 0; ///< Callback cadence; 0 disables.
+
+    bool
+    enabled() const
+    {
+        return static_cast<bool>(fn) && everyInsts > 0;
+    }
+};
+
+/** Install the process-wide progress hook (thread-safe). */
+void setProgressHook(const ProgressHook &hook);
+
+/** The current process-wide progress hook. */
+ProgressHook progressHook();
+
+/**
  * Install the process-wide sampling spec (thread-safe). Folded into any
  * config whose own spec is disabled by resolveExperimentConfig() — the
  * bh_bench --sample flag routes through this, exactly like the BH_INSTS

@@ -1,6 +1,7 @@
 #include "sim/result_store.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -67,6 +68,22 @@ ResultStore::open(const std::string &dir, std::string *error)
         return false;
     }
 
+    // Advisory single-writer lock, held until the store is destroyed.
+    // Two concurrent appenders would be *mostly* safe (whole-line
+    // O_APPEND writes), but they would duplicate simulations and — more
+    // importantly — a second sweep coordinator on the same store would
+    // split one fleet's results across two ingest paths. Fail fast with
+    // a clear message instead of interleaving.
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        if (error)
+            *error = "store " + dir + " is locked by another process " +
+                     "(a coordinator or --store run already owns it): " +
+                     std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+        return false;
+    }
+
     setSoloIpcSink(
         [this](const std::string &app, std::uint64_t insts, double ipc) {
             JsonValue rec = JsonValue::object();
@@ -77,6 +94,7 @@ ResultStore::open(const std::string &dir, std::string *error)
             rec.set("ipc", ipc);
             appendLine(rec.dump());
             std::lock_guard<std::mutex> lock(mutex);
+            soloIngested.emplace(std::make_pair(app, insts), true);
             ++counters.soloComputed;
         },
         this);
@@ -161,6 +179,11 @@ ResultStore::loadFile(const std::string &path)
             }
             primeSoloIpc(app->asString(), insts->asU64(),
                          ipc->asDouble());
+            // Mark the pair as already persisted so a later ingestSolo()
+            // (a warm coordinator's workers recompute their own
+            // denominators) does not append a duplicate line.
+            soloIngested.emplace(
+                std::make_pair(app->asString(), insts->asU64()), true);
             ++counters.soloLoaded;
         } else {
             ++counters.skipped;
@@ -323,6 +346,77 @@ ResultStore::get(const ExperimentConfig &config)
     ++counters.computed;
     return cache.emplace(key, Entry{std::move(resolved), std::move(result)})
         .first->second.result;
+}
+
+const ExperimentResult *
+ResultStore::lookup(const ExperimentConfig &config)
+{
+    ExperimentConfig resolved = resolveExperimentConfig(config);
+    std::string key = experimentKey(resolved);
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return &it->second.result;
+    if (const Entry *entry = resolveFromDisk(key, resolved))
+        return &entry->result;
+    return nullptr;
+}
+
+bool
+ResultStore::ingest(const ExperimentConfig &config,
+                    const JsonValue &payload, std::string *error)
+{
+    ExperimentConfig resolved = resolveExperimentConfig(config);
+    std::string key = experimentKey(resolved);
+    ExperimentResult parsed;
+    if (!experimentResultFromJson(payload, &parsed)) {
+        if (error)
+            *error = "result payload for " + key +
+                     " is not a valid experiment record";
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (cache.count(key))
+            return true; // First record won already (re-leased unit).
+        diskPayloads.erase(key);
+        cache.emplace(key, Entry{resolved, parsed});
+        ++counters.ingested;
+    }
+    // Re-serialize through the canonical encoder rather than appending
+    // the wire payload verbatim: the stored line is then byte-identical
+    // to what a local simulation of the same point would have written
+    // (the round trip is exact — experiment.h documents it).
+    JsonValue rec = JsonValue::object();
+    rec.set("v", kSchemaVersion);
+    rec.set("kind", "experiment");
+    rec.set("key", key);
+    rec.set("payload", experimentResultToJson(resolved, parsed));
+    appendLine(rec.dump());
+    return true;
+}
+
+void
+ResultStore::ingestSolo(const std::string &app, std::uint64_t insts,
+                        double ipc)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!soloIngested.emplace(std::make_pair(app, insts), true)
+                 .second)
+            return; // Another worker already delivered this pair.
+    }
+    // Prime the process-wide cache (so a coordinator-side render never
+    // recomputes a denominator) WITHOUT tripping the solo sink: the sink
+    // fires on computation only, and this value was computed elsewhere.
+    primeSoloIpc(app, insts, ipc);
+    JsonValue rec = JsonValue::object();
+    rec.set("v", kSchemaVersion);
+    rec.set("kind", "solo");
+    rec.set("app", app);
+    rec.set("insts", insts);
+    rec.set("ipc", ipc);
+    appendLine(rec.dump());
 }
 
 std::size_t

@@ -43,6 +43,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/experiment.h"
@@ -60,6 +61,7 @@ struct ResultStoreStats
     std::size_t shardSkipped = 0; ///< Prefetch points owned by other shards.
     std::size_t soloLoaded = 0;  ///< Solo IPCs primed from disk.
     std::size_t soloComputed = 0; ///< Solo IPCs simulated and appended.
+    std::size_t ingested = 0;    ///< Records ingested from sweep workers.
 };
 
 /** Content-addressed experiment cache with optional JSONL persistence. */
@@ -89,9 +91,14 @@ class ResultStore
 
     /**
      * Attach @p dir (created if absent): load its results.jsonl, prime
-     * the solo-IPC cache from it, and append future misses to it.
+     * the solo-IPC cache from it, and append future misses to it. The
+     * backing file is guarded by an advisory exclusive flock() for the
+     * lifetime of the store — a second live writer (another coordinator,
+     * or a local --store run racing one) would interleave appends and
+     * break the single-writer invariant, so it fails fast here instead.
      * @return false (with @p error set) when the directory cannot be
-     *         created or the file cannot be opened for append.
+     *         created, the file cannot be opened for append, or another
+     *         process holds the store.
      */
     bool open(const std::string &dir, std::string *error);
 
@@ -121,6 +128,36 @@ class ResultStore
      * (and persists) when absent.
      */
     const ExperimentResult &get(const ExperimentConfig &config);
+
+    /**
+     * Like get(), but never computes: resolves from the cache or a disk
+     * record, or returns nullptr. The sweep coordinator uses this to
+     * mark warm units done without leasing them.
+     */
+    const ExperimentResult *lookup(const ExperimentConfig &config);
+
+    /**
+     * Ingest an externally computed record (a sweep worker's `result`
+     * payload — experimentResultToJson() output for @p config): parse it,
+     * cache it, and append it to the backing file in the canonical
+     * serialization, exactly as if this process had simulated the point.
+     * A key already resolved is left untouched (first record wins, like
+     * concatenated shard files). The caller is the single writer — the
+     * coordinator's event loop — so ingest never races a local compute.
+     * @return false (with @p error set) when @p payload does not parse
+     *         as a result record.
+     */
+    bool ingest(const ExperimentConfig &config, const JsonValue &payload,
+                std::string *error);
+
+    /**
+     * Ingest a worker-computed solo IPC: prime the process-wide cache
+     * and persist a "solo" record, deduplicating repeats (every worker
+     * computes its own denominators, so the same pair arrives once per
+     * worker).
+     */
+    void ingestSolo(const std::string &app, std::uint64_t insts,
+                    double ipc);
 
     /** Number of distinct points resolved (hit or computed) so far. */
     std::size_t size() const;
@@ -162,6 +199,8 @@ class ResultStore
 
     mutable std::mutex mutex;
     std::map<std::string, Entry> cache;
+    /** (app, insts) solo pairs already persisted via ingestSolo(). */
+    std::map<std::pair<std::string, std::uint64_t>, bool> soloIngested;
     /** Loaded but not-yet-requested records: key -> compact payload
      *  dump, parsed lazily by resolveFromDisk(). */
     std::map<std::string, std::string> diskPayloads;

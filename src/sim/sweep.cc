@@ -1,5 +1,6 @@
 #include "sim/sweep.h"
 
+#include <set>
 #include <utility>
 
 namespace bh {
@@ -172,6 +173,22 @@ SweepSpec::expand() const
     }
     out.insert(out.end(), merged_.begin(), merged_.end());
     return out;
+}
+
+std::vector<ExperimentConfig>
+expandWorkUnits(const std::vector<ExperimentConfig> &configs)
+{
+    std::vector<ExperimentConfig> units;
+    std::set<std::string> seen;
+    for (const ExperimentConfig &config : configs) {
+        // Resolve before keying, like every persistent-cache consumer:
+        // the defaulted form would alias every BH_INSTS scale (and the
+        // process-wide --sample/--channels specs) to one address.
+        ExperimentConfig resolved = resolveExperimentConfig(config);
+        if (seen.insert(experimentKey(resolved)).second)
+            units.push_back(std::move(resolved));
+    }
+    return units;
 }
 
 } // namespace bh

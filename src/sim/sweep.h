@@ -156,4 +156,15 @@ class SweepSpec
     bool baselines_ = false;
 };
 
+/**
+ * Work-unit enumeration for the sweep service (svc/coordinator.h): the
+ * resolved, content-address-deduplicated form of @p configs, in
+ * first-occurrence order. Each returned config is a leasable unit —
+ * fully explicit (resolveExperimentConfig()), so a worker can run it
+ * without sharing this process's environment, and unique by
+ * experimentKey(), so two figures sweeping the same point lease it once.
+ */
+std::vector<ExperimentConfig>
+expandWorkUnits(const std::vector<ExperimentConfig> &configs);
+
 } // namespace bh

@@ -452,6 +452,18 @@ System::runLoop(Cycle max_cycles, std::uint64_t ipc_target)
                          checkpoint_.everyCycles;
     }
 
+    // Progress reporting rides the same cadence machinery but is armed
+    // independently of snapshots: a sweep worker heartbeats without
+    // checkpointing, a checkpointed local run never pays for callbacks.
+    const bool prog_armed =
+        checkpoint_.onProgress && checkpoint_.progressEveryInsts > 0;
+    std::uint64_t prog_mark =
+        prog_armed ? (min_benign_retired() /
+                          checkpoint_.progressEveryInsts +
+                      1) *
+                         checkpoint_.progressEveryInsts
+                   : 0;
+
     while (now < max_cycles) {
         if (ckpt_armed) {
             // Top-of-iteration is the one place a snapshot can cut the
@@ -476,6 +488,14 @@ System::runLoop(Cycle max_cycles, std::uint64_t ipc_target)
                 if (!saveSnapshot(checkpoint_.path, &error))
                     std::fprintf(stderr, "checkpoint failed: %s\n",
                                  error.c_str());
+            }
+        }
+        if (prog_armed) {
+            std::uint64_t retired = min_benign_retired();
+            if (retired >= prog_mark) {
+                checkpoint_.onProgress(retired);
+                prog_mark = (retired / checkpoint_.progressEveryInsts + 1) *
+                            checkpoint_.progressEveryInsts;
             }
         }
 

@@ -13,6 +13,7 @@
  */
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -174,6 +175,17 @@ class System : public ICoreMemory
          * to match on resume; empty skips the check.
          */
         std::string identity;
+
+        /**
+         * Observation-only progress callback, invoked at the same
+         * top-of-iteration point snapshots are cut, whenever the slowest
+         * benign core's retired count crosses a multiple of
+         * progressEveryInsts (0 disables it). The sweep-service worker
+         * hangs its lease heartbeats here; like checkpointing, invoking
+         * it must not (and does not) perturb the simulation.
+         */
+        std::function<void(std::uint64_t retired)> onProgress;
+        std::uint64_t progressEveryInsts = 0;
     };
 
     /**

@@ -1,0 +1,65 @@
+#include "svc/frame.h"
+
+#include <cstring>
+
+namespace bh::svc {
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+    std::string frame;
+    frame.reserve(4 + payload.size());
+    frame.push_back(static_cast<char>(size & 0xff));
+    frame.push_back(static_cast<char>((size >> 8) & 0xff));
+    frame.push_back(static_cast<char>((size >> 16) & 0xff));
+    frame.push_back(static_cast<char>((size >> 24) & 0xff));
+    frame += payload;
+    return frame;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t size)
+{
+    if (broken_)
+        return; // A poisoned stream buffers nothing further.
+    // Compact the already-consumed prefix before growing: a long-lived
+    // connection must not accumulate every frame it ever received.
+    if (consumed > 0 && consumed == buffer.size()) {
+        buffer.clear();
+        consumed = 0;
+    } else if (consumed > 4096) {
+        buffer.erase(0, consumed);
+        consumed = 0;
+    }
+    buffer.append(data, size);
+}
+
+bool
+FrameReader::next(std::string *payload)
+{
+    if (broken_)
+        return false;
+    if (buffer.size() - consumed < 4)
+        return false;
+    const unsigned char *head =
+        reinterpret_cast<const unsigned char *>(buffer.data() + consumed);
+    std::uint32_t size = static_cast<std::uint32_t>(head[0]) |
+                         (static_cast<std::uint32_t>(head[1]) << 8) |
+                         (static_cast<std::uint32_t>(head[2]) << 16) |
+                         (static_cast<std::uint32_t>(head[3]) << 24);
+    if (size == 0 || size > kMaxFramePayload) {
+        // Whatever follows is unframeable — there is no resync point in
+        // a length-prefixed stream whose lengths cannot be trusted.
+        broken_ = true;
+        error_ = "invalid frame length " + std::to_string(size);
+        return false;
+    }
+    if (buffer.size() - consumed - 4 < size)
+        return false; // Incomplete: wait for more bytes.
+    payload->assign(buffer, consumed + 4, size);
+    consumed += 4 + static_cast<std::size_t>(size);
+    return true;
+}
+
+} // namespace bh::svc

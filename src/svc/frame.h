@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Length-prefixed frame codec for the sweep-service wire protocol.
+ *
+ * Every message between a SweepWorker and the SweepCoordinator is one
+ * frame: a 4-byte little-endian payload length followed by that many
+ * bytes of compact JSON. Length prefixing (rather than newline framing)
+ * keeps the stream self-describing for payloads that embed arbitrary
+ * text — an experiment record's JSON payload is shipped verbatim — and
+ * lets the receiver reject oversized or nonsensical frames before
+ * buffering them.
+ *
+ * The decoder is incremental and defensive: bytes arrive in whatever
+ * chunks the TCP stack delivers, a frame split across reads reassembles,
+ * and a header announcing zero or more than kMaxFramePayload bytes marks
+ * the stream broken (poisoned — every later next() fails too, because a
+ * byte stream that lied about one length has no trustworthy resync
+ * point). Garbage that *parses* as a frame but not as JSON is the
+ * protocol layer's problem (svc/protocol.h).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bh::svc {
+
+/**
+ * Ceiling on one frame's payload. Generous next to real traffic — the
+ * largest message is an experiment record with its full latency
+ * histogram, well under a megabyte — while still rejecting a stream
+ * whose "length" is really four bytes of garbage before gigabytes get
+ * buffered.
+ */
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/** @p payload wrapped in a wire frame (4-byte LE length + bytes). */
+std::string encodeFrame(const std::string &payload);
+
+/** Incremental, bounds-checked frame decoder. */
+class FrameReader
+{
+  public:
+    /** Append @p size raw stream bytes. */
+    void feed(const char *data, std::size_t size);
+
+    /**
+     * Extract the next complete frame's payload into @p payload.
+     * @return true when a full frame was extracted; false when more
+     *         bytes are needed — or the stream is broken (check
+     *         broken(); a broken reader never yields another frame).
+     */
+    bool next(std::string *payload);
+
+    /** Whether the stream announced an invalid frame length. */
+    bool broken() const { return broken_; }
+
+    /** Human-readable reason once broken() is true. */
+    const std::string &error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed (tests; idle-stream checks). */
+    std::size_t buffered() const { return buffer.size() - consumed; }
+
+  private:
+    std::string buffer;
+    std::size_t consumed = 0; ///< Prefix of buffer already handed out.
+    bool broken_ = false;
+    std::string error_;
+};
+
+} // namespace bh::svc

@@ -1,0 +1,335 @@
+#include "svc/protocol.h"
+
+#include "sim/result_store.h"
+
+namespace bh::svc {
+
+bool
+parseMessage(const std::string &payload, JsonValue *out,
+             std::string *error)
+{
+    if (!JsonValue::parse(payload, out, error))
+        return false;
+    if (!out->isObject()) {
+        if (error)
+            *error = "message is not a JSON object";
+        return false;
+    }
+    const JsonValue *type = out->find("type");
+    if (type == nullptr || !type->isString()) {
+        if (error)
+            *error = "message has no string \"type\"";
+        return false;
+    }
+    return true;
+}
+
+std::string
+messageType(const JsonValue &msg)
+{
+    const JsonValue *type = msg.isObject() ? msg.find("type") : nullptr;
+    return type != nullptr && type->isString() ? type->asString() : "";
+}
+
+bool
+mitigationFromName(const std::string &name, MitigationType *out)
+{
+    static constexpr MitigationType kAll[] = {
+        MitigationType::kNone,  MitigationType::kPara,
+        MitigationType::kGraphene, MitigationType::kHydra,
+        MitigationType::kTwice, MitigationType::kAqua,
+        MitigationType::kRega,  MitigationType::kRfm,
+        MitigationType::kPrac,  MitigationType::kBlockHammer,
+    };
+    for (MitigationType type : kAll)
+        if (name == mitigationName(type)) {
+            *out = type;
+            return true;
+        }
+    return false;
+}
+
+JsonValue
+experimentConfigToJson(const ExperimentConfig &config)
+{
+    JsonValue mix = JsonValue::object();
+    mix.set("name", config.mix.name);
+    mix.set("pattern", config.mix.pattern);
+    JsonValue slots = JsonValue::array();
+    for (const WorkloadSlot &slot : config.mix.slots) {
+        JsonValue s = JsonValue::object();
+        s.set("kind", slot.kind == WorkloadSlot::Kind::kAttacker
+                          ? "attacker"
+                          : "benign");
+        s.set("app", slot.appName);
+        JsonValue a = JsonValue::object();
+        a.set("aggressors", slot.attacker.numAggressors);
+        a.set("row_base", slot.attacker.rowBase);
+        a.set("row_spacing", slot.attacker.rowSpacing);
+        a.set("banks", slot.attacker.numBanks);
+        a.set("bubbles", slot.attacker.bubbles);
+        s.set("attacker", std::move(a));
+        slots.push(std::move(s));
+    }
+    mix.set("slots", std::move(slots));
+
+    JsonValue bh = JsonValue::object();
+    bh.set("window", config.bh.window);
+    bh.set("th_threat", config.bh.thThreat);
+    bh.set("th_outlier", config.bh.thOutlier);
+    bh.set("p_old_suspect", config.bh.pOldSuspect);
+    bh.set("p_new_suspect", config.bh.pNewSuspect);
+    bh.set("winner_takes_all",
+           config.bh.attribution == ScoreAttribution::kWinnerTakesAll);
+    bh.set("single_counter_set", config.bh.singleCounterSet);
+
+    JsonValue out = JsonValue::object();
+    out.set("mix", std::move(mix));
+    out.set("mechanism", mitigationName(config.mechanism));
+    out.set("nrh", config.nRh);
+    out.set("breakhammer", config.breakHammer);
+    out.set("bh", std::move(bh));
+    out.set("instructions", config.instructions);
+    out.set("oracle", config.oracle);
+    out.set("blunt_throttle", config.bluntThrottle);
+    out.set("seed", config.seed);
+    out.set("channels", config.channels);
+    out.set("ranks", config.ranks);
+    JsonValue sample = JsonValue::object();
+    sample.set("warmup", config.sample.warmup);
+    sample.set("measure", config.sample.measure);
+    sample.set("fast_forward", config.sample.fastForward);
+    out.set("sample", std::move(sample));
+    return out;
+}
+
+namespace {
+
+/** Typed member lookups that fail soft (codec rejects, never aborts). */
+const JsonValue *
+member(const JsonValue &v, const char *key, JsonValue::Type type)
+{
+    const JsonValue *m = v.isObject() ? v.find(key) : nullptr;
+    return m != nullptr && m->type() == type ? m : nullptr;
+}
+
+} // namespace
+
+bool
+experimentConfigFromJson(const JsonValue &v, ExperimentConfig *out)
+{
+    const JsonValue *mix = member(v, "mix", JsonValue::Type::kObject);
+    const JsonValue *mech = member(v, "mechanism", JsonValue::Type::kString);
+    const JsonValue *nrh = member(v, "nrh", JsonValue::Type::kNumber);
+    const JsonValue *bh_on =
+        member(v, "breakhammer", JsonValue::Type::kBool);
+    const JsonValue *bh = member(v, "bh", JsonValue::Type::kObject);
+    const JsonValue *insts =
+        member(v, "instructions", JsonValue::Type::kNumber);
+    const JsonValue *oracle = member(v, "oracle", JsonValue::Type::kBool);
+    const JsonValue *blunt =
+        member(v, "blunt_throttle", JsonValue::Type::kBool);
+    const JsonValue *seed = member(v, "seed", JsonValue::Type::kNumber);
+    const JsonValue *channels =
+        member(v, "channels", JsonValue::Type::kNumber);
+    const JsonValue *ranks = member(v, "ranks", JsonValue::Type::kNumber);
+    const JsonValue *sample =
+        member(v, "sample", JsonValue::Type::kObject);
+    if (!mix || !mech || !nrh || !bh_on || !bh || !insts || !oracle ||
+        !blunt || !seed || !channels || !ranks || !sample)
+        return false;
+
+    const JsonValue *mix_name =
+        member(*mix, "name", JsonValue::Type::kString);
+    const JsonValue *mix_pattern =
+        member(*mix, "pattern", JsonValue::Type::kString);
+    const JsonValue *slots =
+        member(*mix, "slots", JsonValue::Type::kArray);
+    if (!mix_name || !mix_pattern || !slots)
+        return false;
+
+    ExperimentConfig config;
+    if (!mitigationFromName(mech->asString(), &config.mechanism))
+        return false;
+    config.mix.name = mix_name->asString();
+    config.mix.pattern = mix_pattern->asString();
+    for (std::size_t i = 0; i < slots->size(); ++i) {
+        const JsonValue &s = slots->at(i);
+        const JsonValue *kind = member(s, "kind", JsonValue::Type::kString);
+        const JsonValue *app = member(s, "app", JsonValue::Type::kString);
+        const JsonValue *att =
+            member(s, "attacker", JsonValue::Type::kObject);
+        if (!kind || !app || !att)
+            return false;
+        const JsonValue *aggr =
+            member(*att, "aggressors", JsonValue::Type::kNumber);
+        const JsonValue *row_base =
+            member(*att, "row_base", JsonValue::Type::kNumber);
+        const JsonValue *row_spacing =
+            member(*att, "row_spacing", JsonValue::Type::kNumber);
+        const JsonValue *banks =
+            member(*att, "banks", JsonValue::Type::kNumber);
+        const JsonValue *bubbles =
+            member(*att, "bubbles", JsonValue::Type::kNumber);
+        if (!aggr || !row_base || !row_spacing || !banks || !bubbles)
+            return false;
+        WorkloadSlot slot;
+        if (kind->asString() == "attacker")
+            slot.kind = WorkloadSlot::Kind::kAttacker;
+        else if (kind->asString() == "benign")
+            slot.kind = WorkloadSlot::Kind::kBenign;
+        else
+            return false;
+        slot.appName = app->asString();
+        slot.attacker.numAggressors =
+            static_cast<unsigned>(aggr->asU64());
+        slot.attacker.rowBase = static_cast<unsigned>(row_base->asU64());
+        slot.attacker.rowSpacing =
+            static_cast<unsigned>(row_spacing->asU64());
+        slot.attacker.numBanks = static_cast<unsigned>(banks->asU64());
+        slot.attacker.bubbles =
+            static_cast<std::uint32_t>(bubbles->asU64());
+        config.mix.slots.push_back(std::move(slot));
+    }
+
+    const JsonValue *window =
+        member(*bh, "window", JsonValue::Type::kNumber);
+    const JsonValue *th_threat =
+        member(*bh, "th_threat", JsonValue::Type::kNumber);
+    const JsonValue *th_outlier =
+        member(*bh, "th_outlier", JsonValue::Type::kNumber);
+    const JsonValue *p_old =
+        member(*bh, "p_old_suspect", JsonValue::Type::kNumber);
+    const JsonValue *p_new =
+        member(*bh, "p_new_suspect", JsonValue::Type::kNumber);
+    const JsonValue *wta =
+        member(*bh, "winner_takes_all", JsonValue::Type::kBool);
+    const JsonValue *single =
+        member(*bh, "single_counter_set", JsonValue::Type::kBool);
+    if (!window || !th_threat || !th_outlier || !p_old || !p_new || !wta ||
+        !single)
+        return false;
+    config.bh.window = window->asU64();
+    config.bh.thThreat = th_threat->asDouble();
+    config.bh.thOutlier = th_outlier->asDouble();
+    config.bh.pOldSuspect = static_cast<unsigned>(p_old->asU64());
+    config.bh.pNewSuspect = static_cast<unsigned>(p_new->asU64());
+    config.bh.attribution = wta->asBool()
+                                ? ScoreAttribution::kWinnerTakesAll
+                                : ScoreAttribution::kProportional;
+    config.bh.singleCounterSet = single->asBool();
+
+    const JsonValue *warmup =
+        member(*sample, "warmup", JsonValue::Type::kNumber);
+    const JsonValue *measure =
+        member(*sample, "measure", JsonValue::Type::kNumber);
+    const JsonValue *ff =
+        member(*sample, "fast_forward", JsonValue::Type::kNumber);
+    if (!warmup || !measure || !ff)
+        return false;
+    config.sample.warmup = warmup->asU64();
+    config.sample.measure = measure->asU64();
+    config.sample.fastForward = ff->asU64();
+
+    config.nRh = static_cast<unsigned>(nrh->asU64());
+    config.breakHammer = bh_on->asBool();
+    config.instructions = insts->asU64();
+    config.oracle = oracle->asBool();
+    config.bluntThrottle = blunt->asBool();
+    config.seed = seed->asU64();
+    config.channels = static_cast<unsigned>(channels->asU64());
+    config.ranks = static_cast<unsigned>(ranks->asU64());
+    *out = std::move(config);
+    return true;
+}
+
+JsonValue
+makeHello(unsigned jobs, const std::string &worker_name)
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("type", "hello");
+    msg.set("proto", kProtocolVersion);
+    msg.set("schema", ResultStore::kSchemaVersion);
+    msg.set("jobs", jobs);
+    msg.set("name", worker_name);
+    return msg;
+}
+
+JsonValue
+makeHelloOk()
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("type", "hello_ok");
+    msg.set("proto", kProtocolVersion);
+    msg.set("schema", ResultStore::kSchemaVersion);
+    return msg;
+}
+
+JsonValue
+makeLeaseRequest()
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("type", "lease_request");
+    return msg;
+}
+
+JsonValue
+makeLease(const std::string &key, const ExperimentConfig &config,
+          std::uint64_t deadline_ms)
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("type", "lease");
+    msg.set("key", key);
+    msg.set("config", experimentConfigToJson(config));
+    msg.set("deadline_ms", deadline_ms);
+    return msg;
+}
+
+JsonValue
+makeHeartbeat(const std::string &key)
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("type", "heartbeat");
+    msg.set("key", key);
+    return msg;
+}
+
+JsonValue
+makeResult(const std::string &key, JsonValue payload)
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("type", "result");
+    msg.set("key", key);
+    msg.set("payload", std::move(payload));
+    return msg;
+}
+
+JsonValue
+makeSolo(const std::string &app, std::uint64_t insts, double ipc)
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("type", "solo");
+    msg.set("app", app);
+    msg.set("insts", insts);
+    msg.set("ipc", ipc);
+    return msg;
+}
+
+JsonValue
+makeDone()
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("type", "done");
+    return msg;
+}
+
+JsonValue
+makeError(const std::string &message)
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("type", "error");
+    msg.set("message", message);
+    return msg;
+}
+
+} // namespace bh::svc

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Tests for the distributed sweep service (src/svc): the length-prefixed
+ * frame codec (round-trips under arbitrary chunking; truncated,
+ * oversized, zero-length, and garbage streams rejected without UB — this
+ * file runs under ASan+UBSan in CI), the ExperimentConfig wire codec
+ * (experimentKey()-exact round trip), and the coordinator/worker loop
+ * itself: an in-process coordinator with two real workers over loopback
+ * produces a store byte-identical to a local run of the same grid, a
+ * client that takes a lease and goes silent forfeits it at the deadline,
+ * and a client that drops its connection forfeits immediately — in both
+ * cases the unit is re-leased and the sweep still completes.
+ */
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "sim/result_store.h"
+#include "svc/coordinator.h"
+#include "svc/frame.h"
+#include "svc/protocol.h"
+#include "svc/worker.h"
+
+namespace bh::svc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Frame codec.
+// ---------------------------------------------------------------------
+
+TEST(FrameTest, RoundTripsUnderByteAtATimeDelivery)
+{
+    // No empty payload: a zero length is poison by design (every real
+    // message is at least "{}"), which ZeroLengthPoisonsTheStream pins.
+    const std::vector<std::string> payloads = {
+        "{}", std::string("x"), std::string(100000, 'y'),
+        std::string("{\"key\":\"with \\\"quotes\\\" and \\n\"}")};
+    std::string stream;
+    for (const std::string &p : payloads)
+        stream += encodeFrame(p);
+
+    // Worst-case TCP chunking: one byte per feed().
+    FrameReader reader;
+    std::vector<std::string> decoded;
+    std::string payload;
+    for (char byte : stream) {
+        reader.feed(&byte, 1);
+        while (reader.next(&payload))
+            decoded.push_back(payload);
+    }
+    EXPECT_FALSE(reader.broken());
+    EXPECT_EQ(decoded, payloads);
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameTest, TruncatedFrameYieldsNothing)
+{
+    std::string frame = encodeFrame("hello, worker");
+    FrameReader reader;
+    reader.feed(frame.data(), frame.size() - 1);
+    std::string payload;
+    EXPECT_FALSE(reader.next(&payload));
+    EXPECT_FALSE(reader.broken()); // Incomplete, not invalid.
+
+    reader.feed(frame.data() + frame.size() - 1, 1);
+    ASSERT_TRUE(reader.next(&payload));
+    EXPECT_EQ(payload, "hello, worker");
+}
+
+TEST(FrameTest, OversizedLengthPoisonsTheStream)
+{
+    std::uint32_t huge = kMaxFramePayload + 1;
+    char header[4];
+    std::memcpy(header, &huge, 4);
+    FrameReader reader;
+    reader.feed(header, 4);
+    std::string payload;
+    EXPECT_FALSE(reader.next(&payload));
+    EXPECT_TRUE(reader.broken());
+    EXPECT_FALSE(reader.error().empty());
+
+    // Poisoned for good: even a valid frame afterwards stays unread.
+    std::string valid = encodeFrame("{}");
+    reader.feed(valid.data(), valid.size());
+    EXPECT_FALSE(reader.next(&payload));
+    EXPECT_TRUE(reader.broken());
+}
+
+TEST(FrameTest, ZeroLengthPoisonsTheStream)
+{
+    char header[4] = {0, 0, 0, 0};
+    FrameReader reader;
+    reader.feed(header, 4);
+    std::string payload;
+    EXPECT_FALSE(reader.next(&payload));
+    EXPECT_TRUE(reader.broken());
+}
+
+TEST(FrameTest, HttpGarbageLooksLikeAnAbsurdLength)
+{
+    // "GET " little-endian is ~0.5 GB — the reason the coordinator can
+    // sniff HTTP on the same port before framing ever engages.
+    const char *request = "GET /progress HTTP/1.1\r\n\r\n";
+    FrameReader reader;
+    reader.feed(request, std::strlen(request));
+    std::string payload;
+    EXPECT_FALSE(reader.next(&payload));
+    EXPECT_TRUE(reader.broken());
+}
+
+// ---------------------------------------------------------------------
+// Message envelope + config wire codec.
+// ---------------------------------------------------------------------
+
+TEST(ProtocolTest, RejectsGarbageMessages)
+{
+    JsonValue msg;
+    std::string error;
+    EXPECT_FALSE(parseMessage("not json at all", &msg, &error));
+    EXPECT_FALSE(parseMessage("[1,2,3]", &msg, &error)); // Not an object.
+    EXPECT_FALSE(parseMessage("{\"type\":7}", &msg, &error));
+    EXPECT_FALSE(parseMessage("{}", &msg, &error));
+    EXPECT_TRUE(parseMessage("{\"type\":\"hello\"}", &msg, &error));
+    EXPECT_EQ(messageType(msg), "hello");
+}
+
+TEST(ProtocolTest, ConfigRoundTripPreservesExperimentKey)
+{
+    ExperimentConfig cfg;
+    cfg.mix = makeMix("HHMA", 1);
+    cfg.mechanism = MitigationType::kGraphene;
+    cfg.nRh = 512;
+    cfg.breakHammer = true;
+    cfg.instructions = 12345;
+    cfg.oracle = true;
+    cfg.bluntThrottle = true;
+    cfg.seed = 7;
+    cfg.channels = 2;
+    cfg.ranks = 4;
+    cfg.sample.warmup = 100;
+    cfg.sample.measure = 200;
+    cfg.sample.fastForward = 300;
+    ExperimentConfig resolved = resolveExperimentConfig(cfg);
+
+    JsonValue wire = experimentConfigToJson(resolved);
+    // Through a dump/parse cycle, as the wire actually delivers it.
+    JsonValue parsed = JsonValue::parseOrDie(wire.dump());
+    ExperimentConfig back;
+    ASSERT_TRUE(experimentConfigFromJson(parsed, &back));
+    EXPECT_EQ(experimentKey(back), experimentKey(resolved));
+    EXPECT_EQ(back.mix.pattern, resolved.mix.pattern);
+    EXPECT_EQ(back.bh.window, resolved.bh.window);
+    EXPECT_EQ(back.bh.thThreat, resolved.bh.thThreat);
+}
+
+TEST(ProtocolTest, ConfigCodecRejectsMalformedDocuments)
+{
+    ExperimentConfig back;
+    EXPECT_FALSE(experimentConfigFromJson(JsonValue::object(), &back));
+    EXPECT_FALSE(experimentConfigFromJson(JsonValue("str"), &back));
+
+    ExperimentConfig small;
+    small.mix = makeMix("LLLA", 0);
+    JsonValue wire =
+        experimentConfigToJson(resolveExperimentConfig(small));
+    JsonValue broken = wire;
+    broken.set("mechanism", "not-a-mechanism");
+    EXPECT_FALSE(experimentConfigFromJson(broken, &back));
+}
+
+// ---------------------------------------------------------------------
+// Coordinator + workers over loopback.
+// ---------------------------------------------------------------------
+
+/** A small grid cheap enough to simulate twice in one test binary. */
+std::vector<ExperimentConfig>
+loopbackGrid()
+{
+    std::vector<ExperimentConfig> grid;
+    const char *patterns[] = {"HHMA", "LLLA", "MMLL"};
+    for (const char *pattern : patterns) {
+        ExperimentConfig cfg;
+        cfg.mix = makeMix(pattern, 0);
+        cfg.mechanism = MitigationType::kGraphene;
+        cfg.nRh = 512;
+        cfg.breakHammer = true;
+        cfg.instructions = 3000;
+        grid.push_back(cfg);
+    }
+    // A duplicate point: must collapse to one work unit.
+    grid.push_back(grid.front());
+    return grid;
+}
+
+std::string
+freshDir(const std::string &tag)
+{
+    std::string dir = ::testing::TempDir() + "bh_svc_" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** The sorted "experiment" record lines of a store's results.jsonl.
+ *  Solo records are excluded: the process-wide solo cache means only
+ *  whichever run simulated first writes them. */
+std::vector<std::string>
+experimentLines(const std::string &dir)
+{
+    std::vector<std::string> lines;
+    std::ifstream in(dir + "/results.jsonl");
+    std::string line;
+    while (std::getline(in, line))
+        if (line.find("\"kind\":\"experiment\"") != std::string::npos)
+            lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+TEST(SweepServiceTest, TwoWorkersReproduceTheLocalStoreByteForByte)
+{
+    std::vector<ExperimentConfig> grid = loopbackGrid();
+
+    // Ground truth: a local single-process run of the same grid.
+    std::string local_dir = freshDir("local");
+    std::string local_json;
+    {
+        ResultStore local(2);
+        std::string error;
+        ASSERT_TRUE(local.open(local_dir, &error)) << error;
+        local.prefetch(grid);
+        local_json = local.toJson().dump();
+    }
+
+    std::string svc_dir = freshDir("svc");
+    ResultStore store(1);
+    std::string error;
+    ASSERT_TRUE(store.open(svc_dir, &error)) << error;
+
+    CoordinatorOptions copts;
+    copts.port = 0; // Ephemeral: tests never collide on a port.
+    copts.leaseTimeoutMs = 60000;
+    SweepCoordinator coordinator(copts, &store, grid);
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+    EXPECT_EQ(coordinator.metrics().unitsTotal, 3u); // Dedup applied.
+
+    std::thread serve([&] {
+        std::string serve_error;
+        EXPECT_TRUE(coordinator.serve(&serve_error)) << serve_error;
+    });
+
+    auto run_worker = [&](const char *name, bool *ok) {
+        WorkerOptions wopts;
+        wopts.port = coordinator.port();
+        wopts.jobs = 1;
+        wopts.name = name;
+        SweepWorker worker(wopts);
+        std::string worker_error;
+        *ok = worker.run(&worker_error);
+        EXPECT_TRUE(*ok) << worker_error;
+    };
+    bool ok1 = false, ok2 = false;
+    std::thread w1(run_worker, "w1", &ok1);
+    std::thread w2(run_worker, "w2", &ok2);
+    w1.join();
+    w2.join();
+    serve.join();
+    EXPECT_TRUE(ok1);
+    EXPECT_TRUE(ok2);
+
+    CoordinatorMetrics m = coordinator.metrics();
+    EXPECT_TRUE(m.complete);
+    EXPECT_EQ(m.unitsDone, 3u);
+    EXPECT_EQ(m.recordsIngested, 3u);
+    EXPECT_EQ(m.unitsWarm, 0u);
+    EXPECT_EQ(m.leasesOutstanding, 0u);
+
+    // The distributed run's export and on-disk experiment records are
+    // byte-identical to the local run's.
+    EXPECT_EQ(store.toJson().dump(), local_json);
+    std::vector<std::string> svc_lines = experimentLines(svc_dir);
+    EXPECT_EQ(svc_lines, experimentLines(local_dir));
+    EXPECT_EQ(svc_lines.size(), 3u);
+}
+
+TEST(SweepServiceTest, WarmCoordinatorLeasesNothing)
+{
+    std::vector<ExperimentConfig> grid = loopbackGrid();
+    std::string dir = freshDir("warm");
+    {
+        ResultStore cold(2);
+        std::string error;
+        ASSERT_TRUE(cold.open(dir, &error)) << error;
+        cold.prefetch(grid);
+    }
+
+    ResultStore store(1);
+    std::string error;
+    ASSERT_TRUE(store.open(dir, &error)) << error;
+    CoordinatorOptions copts;
+    copts.port = 0;
+    SweepCoordinator coordinator(copts, &store, grid);
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+    std::string serve_error;
+    // Fully warm: serve() returns without a single worker connecting.
+    EXPECT_TRUE(coordinator.serve(&serve_error)) << serve_error;
+    CoordinatorMetrics m = coordinator.metrics();
+    EXPECT_TRUE(m.complete);
+    EXPECT_EQ(m.unitsWarm, 3u);
+    EXPECT_EQ(m.recordsIngested, 0u);
+}
+
+// --- raw-socket fake client for the lease-forfeit tests --------------
+
+int
+connectTo(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)),
+        0);
+    return fd;
+}
+
+void
+sendAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                           MSG_NOSIGNAL);
+        ASSERT_GT(n, 0);
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/** Block until one whole frame arrives; EXPECTs on stream health. */
+std::string
+readFrame(int fd, FrameReader *reader)
+{
+    std::string payload;
+    char buf[4096];
+    while (!reader->next(&payload)) {
+        EXPECT_FALSE(reader->broken()) << reader->error();
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            ADD_FAILURE() << "connection closed while awaiting a frame";
+            return "";
+        }
+        reader->feed(buf, static_cast<std::size_t>(n));
+    }
+    return payload;
+}
+
+/**
+ * Drive the shared part of both forfeit tests: a fake client takes the
+ * only lease and misbehaves (@p drop: close the socket; otherwise go
+ * silent past the deadline), then a real worker finishes the sweep.
+ */
+void
+runForfeitScenario(bool drop, const std::string &tag)
+{
+    ExperimentConfig cfg;
+    cfg.mix = makeMix("MMLL", 0);
+    cfg.mechanism = MitigationType::kNone;
+    cfg.nRh = 1024;
+    cfg.instructions = 2000;
+
+    std::string dir = freshDir(tag);
+    ResultStore store(1);
+    std::string error;
+    ASSERT_TRUE(store.open(dir, &error)) << error;
+    CoordinatorOptions copts;
+    copts.port = 0;
+    copts.leaseTimeoutMs = 300; // Short: the stall test waits it out.
+    SweepCoordinator coordinator(copts, &store, {cfg});
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+
+    std::thread serve([&] {
+        std::string serve_error;
+        EXPECT_TRUE(coordinator.serve(&serve_error)) << serve_error;
+    });
+
+    // The fake client legitimately acquires the only lease...
+    int fd = connectTo(coordinator.port());
+    FrameReader reader;
+    sendAll(fd, encodeFrame(makeHello(1, "fake").dump()));
+    JsonValue msg = JsonValue::parseOrDie(readFrame(fd, &reader));
+    ASSERT_EQ(messageType(msg), "hello_ok");
+    sendAll(fd, encodeFrame(makeLeaseRequest().dump()));
+    msg = JsonValue::parseOrDie(readFrame(fd, &reader));
+    ASSERT_EQ(messageType(msg), "lease");
+
+    // ...and forfeits it: instantly on disconnect, or at the deadline
+    // when it simply stops heartbeating.
+    if (drop)
+        ::close(fd);
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(30);
+    while (coordinator.metrics().leasesExpired == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GE(coordinator.metrics().leasesExpired, 1u);
+
+    // A healthy worker picks the requeued unit up and completes the run.
+    WorkerOptions wopts;
+    wopts.port = coordinator.port();
+    wopts.jobs = 1;
+    wopts.name = "rescuer";
+    SweepWorker worker(wopts);
+    std::string worker_error;
+    EXPECT_TRUE(worker.run(&worker_error)) << worker_error;
+    serve.join();
+    if (!drop)
+        ::close(fd);
+
+    CoordinatorMetrics m = coordinator.metrics();
+    EXPECT_TRUE(m.complete);
+    EXPECT_EQ(m.unitsDone, 1u);
+    EXPECT_EQ(m.recordsIngested, 1u);
+    EXPECT_GE(m.leasesExpired, 1u);
+}
+
+TEST(SweepServiceTest, DroppedWorkerForfeitsItsLeaseImmediately)
+{
+    runForfeitScenario(/*drop=*/true, "drop");
+}
+
+TEST(SweepServiceTest, SilentWorkerForfeitsItsLeaseAtTheDeadline)
+{
+    runForfeitScenario(/*drop=*/false, "stall");
+}
+
+TEST(SweepServiceTest, SecondStoreWriterIsRefused)
+{
+    std::string dir = freshDir("flock");
+    ResultStore first(1);
+    std::string error;
+    ASSERT_TRUE(first.open(dir, &error)) << error;
+
+    // Same process, second descriptor: flock is per-open-file, so this
+    // models a second coordinator racing the first.
+    ResultStore second(1);
+    EXPECT_FALSE(second.open(dir, &error));
+    EXPECT_NE(error.find("locked"), std::string::npos) << error;
+}
+
+} // namespace
+} // namespace bh::svc
