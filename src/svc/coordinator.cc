@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -43,6 +44,27 @@ metric(double v)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", v);
     return buf;
+}
+
+/**
+ * Escape a label value per the Prometheus text exposition format. The
+ * worker name is peer-supplied; an unescaped '"' or newline in it would
+ * corrupt the whole /metrics page.
+ */
+std::string
+promLabel(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
 }
 
 } // namespace
@@ -136,14 +158,24 @@ SweepCoordinator::serve(std::string *error)
 
     while (!stopRequested.load()) {
         // Exit condition: everything done, every framed peer's `done`
-        // frame flushed, and the HTTP linger window has elapsed.
+        // frame flushed, every worker disconnected (or the grace window
+        // elapsed — see doneGraceMs), and the HTTP linger elapsed.
         if (completedAtMs != 0) {
             bool drained = true;
-            for (const auto &entry : conns)
-                if (entry.second.kind != Conn::Kind::kHttp &&
-                    !entry.second.out.empty())
+            std::size_t peers = 0;
+            for (const auto &entry : conns) {
+                if (entry.second.kind == Conn::Kind::kHttp)
+                    continue;
+                ++peers;
+                if (!entry.second.out.empty())
                     drained = false;
-            if (drained && nowMs() >= completedAtMs + options.lingerMs)
+            }
+            std::uint64_t now = nowMs();
+            bool workers_gone =
+                peers == 0 ||
+                now >= completedAtMs + options.doneGraceMs;
+            if (drained && workers_gone &&
+                now >= completedAtMs + options.lingerMs)
                 break;
         }
 
@@ -311,13 +343,16 @@ SweepCoordinator::handleMessage(Conn &conn, const JsonValue &msg)
             peer_schema != ResultStore::kSchemaVersion) {
             // A worker from different sources would fill the store with
             // records this coordinator cannot reproduce or even parse.
+            // closing must be set BEFORE sendFrame: flushOut closes (and
+            // erases) the conn the moment the error frame drains, so
+            // `conn` may be dangling once sendFrame returns.
+            conn.closing = true;
             sendFrame(conn,
                       makeError("version mismatch: coordinator proto " +
                                 std::to_string(kProtocolVersion) +
                                 " schema " +
                                 std::to_string(
                                     ResultStore::kSchemaVersion)));
-            conn.closing = true;
             return;
         }
         conn.helloDone = true;
@@ -327,8 +362,8 @@ SweepCoordinator::handleMessage(Conn &conn, const JsonValue &msg)
         return;
     }
     if (!conn.helloDone) {
+        conn.closing = true; // Before sendFrame: see version-mismatch path.
         sendFrame(conn, makeError("hello required first"));
-        conn.closing = true;
         return;
     }
     if (type == "lease_request") {
@@ -414,18 +449,31 @@ SweepCoordinator::noteDone(std::size_t index)
     }
     unit.state = Unit::State::kDone;
     unit.owner = -1;
+    // The unit may still sit in pendingQ: its lease expired (requeue)
+    // and then the original owner's result arrived anyway. Purge it so
+    // grantLeases never re-serves a finished unit.
+    pendingQ.erase(std::remove(pendingQ.begin(), pendingQ.end(), index),
+                   pendingQ.end());
     ++done;
     if (done == units.size()) {
         completedAtMs = nowMs();
         // Tell every connected worker to wind down; workers with an
         // in-flight duplicate simply see their late result ignored.
+        // sendFrame can close (erase) a conn on send failure, so walk a
+        // snapshot of fds rather than live map iterators.
+        std::vector<int> fds;
         for (auto &entry : conns) {
+            entry.second.waitingRequests = 0;
             if (entry.second.kind == Conn::Kind::kFramed &&
                 entry.second.helloDone)
-                sendFrame(entry.second, makeDone());
-            entry.second.waitingRequests = 0;
+                fds.push_back(entry.first);
         }
         waiters.clear();
+        for (int fd : fds) {
+            auto peer = conns.find(fd);
+            if (peer != conns.end())
+                sendFrame(peer->second, makeDone());
+        }
         BH_LOG("coordinator: all %zu unit(s) done (%zu ingested, "
                "%zu warm, %zu lease expiries)",
                units.size(), ingested, warm, expired);
@@ -470,6 +518,16 @@ void
 SweepCoordinator::grantLeases()
 {
     while (!pendingQ.empty() && !waiters.empty()) {
+        // Only a kPending unit may be leased. A stale queue entry (the
+        // unit completed or was re-leased while its index sat queued)
+        // would otherwise be granted from the kDone state, and the
+        // duplicate result's noteDone() would push `done` past the real
+        // count — signalling completion with units still unfinished.
+        std::size_t index = pendingQ.front();
+        if (units[index].state != Unit::State::kPending) {
+            pendingQ.pop_front();
+            continue;
+        }
         int fd = waiters.front();
         waiters.pop_front();
         auto it = conns.find(fd);
@@ -478,7 +536,6 @@ SweepCoordinator::grantLeases()
             continue; // Stale entry for a dead or drained connection.
         Conn &conn = it->second;
         --conn.waitingRequests;
-        std::size_t index = pendingQ.front();
         pendingQ.pop_front();
         Unit &unit = units[index];
         unit.state = Unit::State::kLeased;
@@ -614,8 +671,8 @@ SweepCoordinator::metricsText() const
         std::string label =
             conn.name.empty() ? "fd" + std::to_string(conn.fd)
                               : conn.name;
-        out += "bh_sweep_worker_throughput_per_s{worker=\"" + label +
-               "\"} " + metric(throughput) + "\n";
+        out += "bh_sweep_worker_throughput_per_s{worker=\"" +
+               promLabel(label) + "\"} " + metric(throughput) + "\n";
     }
     return out;
 }

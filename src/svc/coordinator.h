@@ -66,6 +66,17 @@ struct CoordinatorOptions
      * told `done` immediately either way.
      */
     std::uint64_t lingerMs = 0;
+    /**
+     * After the last unit completes, keep serving until every worker
+     * connection has closed (workers disconnect as soon as they process
+     * `done`), bounded by this grace window. Exiting the instant the
+     * out-buffers drain loses a race: a worker whose lease-request
+     * replenish crosses the exit takes an RST that discards its
+     * buffered `done`, and it then retries a dead address until its
+     * connect-failure cap. Within the grace a reconnecting worker gets
+     * `done` answered directly.
+     */
+    std::uint64_t doneGraceMs = 3000;
 };
 
 /** Live counters, readable from any thread via metrics(). */

@@ -23,6 +23,7 @@
 #include <fstream>
 #include <thread>
 
+#include "sim/experiment.h"
 #include "sim/result_store.h"
 #include "svc/coordinator.h"
 #include "svc/frame.h"
@@ -422,9 +423,9 @@ runForfeitScenario(bool drop, const std::string &tag)
     SweepWorker worker(wopts);
     std::string worker_error;
     EXPECT_TRUE(worker.run(&worker_error)) << worker_error;
-    serve.join();
     if (!drop)
-        ::close(fd);
+        ::close(fd); // Before join: an open conn holds the done grace.
+    serve.join();
 
     CoordinatorMetrics m = coordinator.metrics();
     EXPECT_TRUE(m.complete);
@@ -441,6 +442,304 @@ TEST(SweepServiceTest, DroppedWorkerForfeitsItsLeaseImmediately)
 TEST(SweepServiceTest, SilentWorkerForfeitsItsLeaseAtTheDeadline)
 {
     runForfeitScenario(/*drop=*/false, "stall");
+}
+
+TEST(SweepServiceTest, PreHelloAndBadVersionPeersAreClosedSafely)
+{
+    ExperimentConfig cfg;
+    cfg.mix = makeMix("MMLL", 0);
+    cfg.mechanism = MitigationType::kNone;
+    cfg.nRh = 1024;
+    cfg.instructions = 2000;
+
+    std::string dir = freshDir("prehello");
+    ResultStore store(1);
+    std::string error;
+    ASSERT_TRUE(store.open(dir, &error)) << error;
+    CoordinatorOptions copts;
+    copts.port = 0;
+    SweepCoordinator coordinator(copts, &store, {cfg});
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+    std::thread serve([&] {
+        std::string serve_error;
+        EXPECT_TRUE(coordinator.serve(&serve_error)) << serve_error;
+    });
+
+    // Two protocol violations delivered as ONE write, so the coordinator
+    // dispatches both frames from a single recv batch. Regression (ASan
+    // catches it): replying to the first violation closed and freed the
+    // Conn while the second was still being handled, and the error path
+    // then wrote to the freed object; separately, a conn marked closing
+    // after its error frame drained was never actually closed, so this
+    // recv loop would park forever on a leaked half-open socket.
+    const std::string bad_hello =
+        "{\"type\":\"hello\",\"proto\":999,\"schema\":999}";
+    const std::string batches[] = {
+        // Single violations pin the leak: a conn whose error frame fully
+        // drained inside sendFrame was marked closing but never closed,
+        // so this recv would wait out its full timeout.
+        encodeFrame(makeLeaseRequest().dump()),
+        encodeFrame(bad_hello),
+        // Double violations pin the use-after-free: the reply to the
+        // second frame closed and freed the Conn, then wrote to it.
+        encodeFrame(makeLeaseRequest().dump()) +
+            encodeFrame(makeLeaseRequest().dump()),
+        encodeFrame(bad_hello) + encodeFrame(bad_hello),
+    };
+    for (const std::string &batch : batches) {
+        int fd = connectTo(coordinator.port());
+        timeval tv{10, 0}; // Fail fast instead of hanging on a leak.
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        sendAll(fd, batch);
+        FrameReader reader;
+        std::string payload;
+        char buf[4096];
+        std::vector<std::string> types;
+        bool closed = false;
+        for (;;) {
+            ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n == 0)
+                closed = true; // The coordinator really hung up.
+            if (n <= 0)
+                break;
+            reader.feed(buf, static_cast<std::size_t>(n));
+            while (reader.next(&payload))
+                types.push_back(
+                    messageType(JsonValue::parseOrDie(payload)));
+        }
+        ::close(fd);
+        EXPECT_TRUE(closed);
+        ASSERT_FALSE(types.empty());
+        for (const std::string &type : types)
+            EXPECT_EQ(type, "error");
+    }
+
+    coordinator.requestStop();
+    serve.join();
+}
+
+TEST(SweepServiceTest, LateResultForARequeuedUnitDoesNotFakeCompletion)
+{
+    // Two units; one client leases both, goes silent until they expire
+    // (requeue), then — still connected — delivers the result for its
+    // SECOND lease, whose index now sits at the front of the pending
+    // queue. Regression: the done unit's stale queue entry was re-leased
+    // from the kDone state, and the duplicate completion pushed `done`
+    // to units.size() with the other unit never simulated, exporting an
+    // incomplete store.
+    std::vector<ExperimentConfig> grid;
+    for (const char *pattern : {"HHMA", "LLLA"}) {
+        ExperimentConfig cfg;
+        cfg.mix = makeMix(pattern, 0);
+        cfg.mechanism = MitigationType::kNone;
+        cfg.nRh = 1024;
+        cfg.instructions = 2000;
+        grid.push_back(cfg);
+    }
+
+    // Ground truth for the completeness check.
+    std::string local_dir = freshDir("late_local");
+    std::string local_json;
+    {
+        ResultStore local(2);
+        std::string error;
+        ASSERT_TRUE(local.open(local_dir, &error)) << error;
+        local.prefetch(grid);
+        local_json = local.toJson().dump();
+    }
+
+    std::string dir = freshDir("late");
+    ResultStore store(1);
+    std::string error;
+    ASSERT_TRUE(store.open(dir, &error)) << error;
+    CoordinatorOptions copts;
+    copts.port = 0;
+    copts.leaseTimeoutMs = 300;
+    SweepCoordinator coordinator(copts, &store, grid);
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+    std::thread serve([&] {
+        std::string serve_error;
+        EXPECT_TRUE(coordinator.serve(&serve_error)) << serve_error;
+    });
+
+    int fd = connectTo(coordinator.port());
+    FrameReader reader;
+    sendAll(fd, encodeFrame(makeHello(2, "late").dump()));
+    JsonValue msg = JsonValue::parseOrDie(readFrame(fd, &reader));
+    ASSERT_EQ(messageType(msg), "hello_ok");
+
+    auto take_lease = [&](std::string *key, ExperimentConfig *config) {
+        sendAll(fd, encodeFrame(makeLeaseRequest().dump()));
+        JsonValue lease = JsonValue::parseOrDie(readFrame(fd, &reader));
+        ASSERT_EQ(messageType(lease), "lease");
+        const JsonValue *k = lease.find("key");
+        const JsonValue *c = lease.find("config");
+        ASSERT_NE(k, nullptr);
+        ASSERT_NE(c, nullptr);
+        *key = k->asString();
+        ASSERT_TRUE(experimentConfigFromJson(*c, config));
+    };
+    std::string key1, key2;
+    ExperimentConfig cfg1, cfg2;
+    take_lease(&key1, &cfg1);
+    take_lease(&key2, &cfg2);
+    ASSERT_NE(key1, key2);
+
+    // Silence until both leases expire and requeue.
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (coordinator.metrics().leasesExpired < 2 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_GE(coordinator.metrics().leasesExpired, 2u);
+
+    // Deliver the second lease's result anyway (requeue order put that
+    // unit at the queue front, the worst case for the stale entry).
+    ExperimentResult result = runExperiment(cfg2);
+    sendAll(fd,
+            encodeFrame(
+                makeResult(key2, experimentResultToJson(cfg2, result))
+                    .dump()));
+    while (coordinator.metrics().unitsDone < 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_EQ(coordinator.metrics().unitsDone, 1u);
+
+    // The next lease must be the unfinished unit, never the done one.
+    std::string key3;
+    ExperimentConfig cfg3;
+    take_lease(&key3, &cfg3);
+    EXPECT_EQ(key3, key1);
+    result = runExperiment(cfg3);
+    sendAll(fd,
+            encodeFrame(
+                makeResult(key3, experimentResultToJson(cfg3, result))
+                    .dump()));
+
+    // Completion only now, with both records in the store.
+    msg = JsonValue::parseOrDie(readFrame(fd, &reader));
+    EXPECT_EQ(messageType(msg), "done");
+    ::close(fd); // Before join: an open conn holds the done grace.
+    serve.join();
+
+    CoordinatorMetrics m = coordinator.metrics();
+    EXPECT_TRUE(m.complete);
+    EXPECT_EQ(m.unitsDone, 2u);
+    EXPECT_EQ(m.recordsIngested, 2u);
+    EXPECT_EQ(store.toJson().dump(), local_json);
+}
+
+TEST(SweepServiceTest, CompletionWaitsForWorkersToDisconnect)
+{
+    // The coordinator must not exit the instant its buffers drain after
+    // the `done` broadcast: a worker whose final frames cross the exit
+    // takes an RST that discards its buffered `done` and then retries a
+    // dead address. Within the grace window the coordinator stays up —
+    // still connected peers hold it — and answers a (re)connecting
+    // worker's lease_request with `done` directly.
+    ExperimentConfig cfg;
+    cfg.mix = makeMix("MMLL", 0);
+    cfg.mechanism = MitigationType::kNone;
+    cfg.nRh = 1024;
+    cfg.instructions = 2000;
+
+    std::string dir = freshDir("grace");
+    ResultStore store(1);
+    std::string error;
+    ASSERT_TRUE(store.open(dir, &error)) << error;
+    CoordinatorOptions copts;
+    copts.port = 0;
+    SweepCoordinator coordinator(copts, &store, {cfg});
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+    std::thread serve([&] {
+        std::string serve_error;
+        EXPECT_TRUE(coordinator.serve(&serve_error)) << serve_error;
+    });
+
+    // Client A completes the only unit and reads its `done`...
+    int a = connectTo(coordinator.port());
+    FrameReader ra;
+    sendAll(a, encodeFrame(makeHello(1, "a").dump()));
+    ASSERT_EQ(messageType(JsonValue::parseOrDie(readFrame(a, &ra))),
+              "hello_ok");
+    sendAll(a, encodeFrame(makeLeaseRequest().dump()));
+    JsonValue lease = JsonValue::parseOrDie(readFrame(a, &ra));
+    ASSERT_EQ(messageType(lease), "lease");
+    ExperimentConfig leased;
+    ASSERT_TRUE(experimentConfigFromJson(*lease.find("config"), &leased));
+    ExperimentResult result = runExperiment(leased);
+    sendAll(a, encodeFrame(makeResult(lease.find("key")->asString(),
+                                      experimentResultToJson(leased,
+                                                             result))
+                               .dump()));
+    ASSERT_EQ(messageType(JsonValue::parseOrDie(readFrame(a, &ra))),
+              "done");
+
+    // ...and while A is still connected, a late client B must be served
+    // `done`, not a refused connection against an exited coordinator.
+    int b = connectTo(coordinator.port());
+    FrameReader rb;
+    sendAll(b, encodeFrame(makeHello(1, "b").dump()));
+    ASSERT_EQ(messageType(JsonValue::parseOrDie(readFrame(b, &rb))),
+              "hello_ok");
+    sendAll(b, encodeFrame(makeLeaseRequest().dump()));
+    ASSERT_EQ(messageType(JsonValue::parseOrDie(readFrame(b, &rb))),
+              "done");
+
+    ::close(a);
+    ::close(b);
+    serve.join(); // Exits promptly once both peers are gone.
+}
+
+TEST(SweepServiceTest, MetricsEscapesHostileWorkerNames)
+{
+    ExperimentConfig cfg;
+    cfg.mix = makeMix("MMLL", 0);
+    cfg.mechanism = MitigationType::kNone;
+    cfg.nRh = 1024;
+    cfg.instructions = 2000;
+
+    std::string dir = freshDir("promesc");
+    ResultStore store(1);
+    std::string error;
+    ASSERT_TRUE(store.open(dir, &error)) << error;
+    CoordinatorOptions copts;
+    copts.port = 0;
+    SweepCoordinator coordinator(copts, &store, {cfg});
+    ASSERT_TRUE(coordinator.start(&error)) << error;
+    std::thread serve([&] {
+        std::string serve_error;
+        EXPECT_TRUE(coordinator.serve(&serve_error)) << serve_error;
+    });
+
+    // A worker name with every character that can break the Prometheus
+    // text format: '"' ends the label, '\n' ends the line, '\' escapes.
+    int wfd = connectTo(coordinator.port());
+    FrameReader reader;
+    sendAll(wfd, encodeFrame(makeHello(1, "w\"evil\\\n1").dump()));
+    JsonValue msg = JsonValue::parseOrDie(readFrame(wfd, &reader));
+    ASSERT_EQ(messageType(msg), "hello_ok");
+
+    int hfd = connectTo(coordinator.port());
+    sendAll(hfd, "GET /metrics HTTP/1.1\r\n\r\n");
+    std::string page;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(hfd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        page.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(hfd);
+    // The raw name must not appear; the escaped label must.
+    EXPECT_EQ(page.find("w\"evil"), std::string::npos) << page;
+    EXPECT_NE(page.find("worker=\"w\\\"evil\\\\\\n1\""),
+              std::string::npos)
+        << page;
+
+    coordinator.requestStop();
+    serve.join();
+    ::close(wfd);
 }
 
 TEST(SweepServiceTest, SecondStoreWriterIsRefused)
