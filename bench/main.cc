@@ -33,6 +33,7 @@
 #include "bench/bench_util.h"
 #include "bench/registry.h"
 #include "common/env.h"
+#include "sim/redteam.h"
 #include "svc/coordinator.h"
 #include "svc/worker.h"
 
@@ -74,6 +75,15 @@ usage()
         "                channels\n"
         "  --ranks=N     DRAM ranks per channel (power of two; default "
         "2)\n"
+        "  --redteam=SEED/ROUNDS/POP\n"
+        "                red-team fuzzer: evolve adaptive attacker\n"
+        "                strategies (pattern, pacing, observation\n"
+        "                cadence, thread rotation) against PARA,\n"
+        "                Graphene, and Hydra for ROUNDS generations of\n"
+        "                POP strategies from the given seed; probes\n"
+        "                persist in --store (required) under |rt= keys,\n"
+        "                so a re-run simulates 0 and reports identical\n"
+        "                results. Takes no figures; exact runs only\n"
         "  --serve=PORT  coordinator mode: expand the selected figures'\n"
         "                grids into work units and lease them to --worker\n"
         "                processes over TCP; requires --store (every\n"
@@ -240,6 +250,8 @@ main(int argc, char **argv)
     std::uint64_t lease_timeout_s = 30;
     std::uint64_t linger_s = 0;
     bool lease_timeout_given = false, linger_given = false;
+    RedteamSpec redteam_spec;
+    bool redteam_mode = false;
     bool run_all = false;
     std::vector<std::string> names;
 
@@ -334,6 +346,17 @@ main(int argc, char **argv)
                              value);
                 return 2;
             }
+        } else if (flag_value(arg, "--redteam", &i, &value)) {
+            if (!parseRedteamSpec(value, &redteam_spec)) {
+                std::fprintf(stderr,
+                             "error: --redteam wants SEED/ROUNDS/POP "
+                             "with positive integers (rounds <= 16, "
+                             "pop <= 64; e.g. --redteam=1/2/4), got "
+                             "\"%s\"\n",
+                             value);
+                return 2;
+            }
+            redteam_mode = true;
         } else if (flag_value(arg, "--serve", &i, &value)) {
             if (!parsePort(value, &serve_port)) {
                 std::fprintf(stderr,
@@ -431,6 +454,23 @@ main(int argc, char **argv)
                      "--help)\n");
         return 2;
     }
+    if (redteam_mode &&
+        (serve_mode || worker_mode || shard_count != 0 ||
+         sample.enabled() || run_all || !names.empty())) {
+        std::fprintf(stderr,
+                     "error: --redteam is its own mode: it drives the "
+                     "search grid itself (exact runs only); drop "
+                     "--serve/--worker/--shard/--sample and figure "
+                     "names (try --help)\n");
+        return 2;
+    }
+    if (redteam_mode && store_dir.empty()) {
+        std::fprintf(stderr,
+                     "error: --redteam requires --store: probes persist "
+                     "under |rt= keys so re-runs simulate 0 (try "
+                     "--help)\n");
+        return 2;
+    }
 
     if (worker_mode) {
         if (checkpoint_insts || checkpoint_cycles) {
@@ -498,7 +538,7 @@ main(int argc, char **argv)
     } else {
         selected = std::move(named);
     }
-    if (selected.empty()) {
+    if (selected.empty() && !redteam_mode) {
         usage();
         return 2;
     }
@@ -558,7 +598,25 @@ main(int argc, char **argv)
     bench::Context ctx{&store, jobs};
 
     auto total_start = Clock::now();
-    if (serve_mode) {
+    if (redteam_mode) {
+        std::printf("==== red-team fuzzer: seed=%llu rounds=%u pop=%u "
+                    "====\n",
+                    static_cast<unsigned long long>(redteam_spec.seed),
+                    redteam_spec.rounds, redteam_spec.population);
+        RedteamReport report = runRedteamSearch(redteam_spec, &store);
+        std::printf("%-12s %12s %12s  %s\n", "mechanism", "fixed",
+                    "adaptive", "best adaptive strategy");
+        for (const RedteamMechanismOutcome &o : report.mechanisms)
+            std::printf("%-12s %12.6g %12.6g  %s%s\n",
+                        mitigationName(o.mechanism), o.bestFixedFitness,
+                        o.bestAdaptiveFitness,
+                        o.bestAdaptiveStrategy.c_str(),
+                        o.improved ? "  [evades]" : "");
+        std::printf("fitness: preventive actions per attacker ACT "
+                    "(lower = more evasive)\n");
+        std::printf("probes=%zu improved_any=%d\n", report.probes,
+                    report.improvedAny ? 1 : 0);
+    } else if (serve_mode) {
         // Coordinator mode: union the selected figures' sweeps (the same
         // grid --shard unions), lease the units to workers, and ingest
         // their results. Rendering is skipped — render from the warm

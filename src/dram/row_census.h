@@ -83,6 +83,23 @@ class RowCensus
         return it == counts.end() ? 0 : it->second;
     }
 
+    /**
+     * Rows with strictly more than @p n ACTs in the current (open)
+     * window. Unlike meanRowsOver() this takes any threshold — the
+     * adversarial-pattern tests use it to check a pattern's spatial
+     * footprint (e.g. Half-Double's far/near activation split) without
+     * waiting for a window to close.
+     */
+    std::uint64_t
+    currentRowsOver(std::uint32_t n) const
+    {
+        std::uint64_t rows = 0;
+        for (const auto &[key, count] : counts)
+            if (count > n)
+                ++rows;
+        return rows;
+    }
+
     /** Serialize the open window and all completed summaries. */
     void
     saveState(StateWriter &w) const

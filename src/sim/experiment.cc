@@ -11,6 +11,7 @@
 #include "common/log.h"
 #include "common/snapshot.h"
 #include "sim/parallel_for.h"
+#include "sim/redteam.h"
 #include "sim/result_store.h"
 #include "stats/json_stats.h"
 #include "stats/metrics.h"
@@ -717,6 +718,17 @@ runExperiment(const ExperimentConfig &config)
     ExperimentConfig cfg = resolveExperimentConfig(config);
     std::uint64_t insts = cfg.instructions;
 
+    // Red-team probes rewrite the mix's attacker slots into adaptive
+    // traces before either run path constructs a System. The rewrite is
+    // part of the config identity (the `|rt=` key suffix), so a probe
+    // can never be served a canonical fixed-attacker record.
+    if (!cfg.redteam.empty()) {
+        RedteamStrategy strategy;
+        if (!parseRedteamStrategy(cfg.redteam, &strategy))
+            BH_FATAL("malformed redteam strategy spec");
+        applyRedteamStrategy(strategy, &cfg.mix.slots);
+    }
+
     if (cfg.sample.enabled()) {
         std::uint64_t stride =
             cfg.sample.fastForward + cfg.sample.warmup + cfg.sample.measure;
@@ -853,6 +865,11 @@ experimentKey(const ExperimentConfig &config)
                       config.ranks ? config.ranks : 2);
         key += obuf;
     }
+    // Red-team probes carry their canonical strategy spec. Append-only
+    // like the blocks above: canonical figure records (empty redteam)
+    // keep their addresses, and no probe can ever alias them.
+    if (!config.redteam.empty())
+        key += "|rt=" + config.redteam;
     return key;
 }
 
@@ -915,6 +932,19 @@ experimentResultToJson(const ExperimentConfig &config,
               metric(result.sampling.preventiveActions));
         s.set("p99_latency_ns", metric(result.sampling.p99LatencyNs));
         out.set("sampling", std::move(s));
+    }
+
+    // Present only for red-team probes: the strategy spec and the
+    // per-thread demand-ACT split the fuzzer's evasion fitness divides
+    // by, so a warm store re-ranks strategies without re-simulating.
+    if (!config.redteam.empty()) {
+        JsonValue rt = JsonValue::object();
+        rt.set("spec", config.redteam);
+        JsonValue acts = JsonValue::array();
+        for (std::uint64_t a : result.raw.demandActsPerThread)
+            acts.push(a);
+        rt.set("demand_acts_per_thread", std::move(acts));
+        out.set("redteam", std::move(rt));
     }
 
     JsonValue raw = JsonValue::object();
@@ -1121,6 +1151,22 @@ experimentResultFromJson(const JsonValue &v, ExperimentResult *out)
                                    &r.sampling.preventiveActions) ||
             !sampledMetricFromJson(*sp99, &r.sampling.p99LatencyNs))
             return false;
+    }
+
+    // The redteam block is likewise optional-but-complete (only probe
+    // records carry it).
+    if (const JsonValue *redteam = v.find("redteam")) {
+        const JsonValue *spec =
+            typedMember(*redteam, "spec", Type::kString);
+        const JsonValue *acts =
+            typedMember(*redteam, "demand_acts_per_thread", Type::kArray);
+        if (!spec || !acts)
+            return false;
+        for (std::size_t i = 0; i < acts->size(); ++i)
+            if (!acts->at(i).isNumber())
+                return false;
+        for (std::size_t i = 0; i < acts->size(); ++i)
+            r.raw.demandActsPerThread.push_back(acts->at(i).asU64());
     }
 
     r.raw.cycles = cycles->asU64();

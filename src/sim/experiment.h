@@ -76,6 +76,15 @@ struct ExperimentConfig
      * and exact results never alias in the ResultStore.
      */
     SamplingSpec sample;
+    /**
+     * Red-team attacker strategy (canonical spec string of
+     * sim/redteam.h, e.g. "pat=many,obs=64,bub=64,grp=1,ho=0"); empty =
+     * canonical fixed attackers. When set, runExperiment() rewrites the
+     * mix's attacker slots into adaptive traces per the strategy. Part
+     * of experimentKey() via an `|rt=` suffix, so red-team probes never
+     * alias canonical figure records.
+     */
+    std::string redteam;
 };
 
 /** A sampled metric: the mean across measurement windows and its CI. */

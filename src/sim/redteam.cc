@@ -1,0 +1,421 @@
+#include "sim/redteam.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <set>
+
+#include "common/log.h"
+#include "sim/result_store.h"
+#include "sim/sweep.h"
+
+namespace bh {
+
+namespace {
+
+const char *
+patternToken(AttackPattern p)
+{
+    switch (p) {
+      case AttackPattern::kManySided: return "many";
+      case AttackPattern::kDoubleSided: return "double";
+      case AttackPattern::kHalfDouble: return "half";
+    }
+    return "many";
+}
+
+bool
+patternFromToken(const std::string &token, AttackPattern *out)
+{
+    if (token == "many") {
+        *out = AttackPattern::kManySided;
+    } else if (token == "double") {
+        *out = AttackPattern::kDoubleSided;
+    } else if (token == "half") {
+        *out = AttackPattern::kHalfDouble;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Parse a decimal u64 with no sign, no leading junk, no overflow. */
+bool
+parseU64Field(const std::string &text, std::uint64_t *out)
+{
+    if (text.empty() || text.size() > 19)
+        return false;
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    *out = value;
+    return true;
+}
+
+/** The "key=" prefix of @p field, or nullptr when it doesn't match. */
+const char *
+fieldValue(const std::string &field, const char *key)
+{
+    std::size_t n = std::string(key).size();
+    if (field.size() <= n + 1 || field.compare(0, n, key) != 0 ||
+        field[n] != '=')
+        return nullptr;
+    return field.c_str() + n + 1;
+}
+
+std::vector<std::string>
+splitFields(const std::string &spec, char sep)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = spec.find(sep, start);
+        fields.push_back(spec.substr(start, pos - start));
+        if (pos == std::string::npos)
+            break;
+        start = pos + 1;
+    }
+    return fields;
+}
+
+/** The paper's default search targets: cheap per-row trackers plus the
+ *  probabilistic baseline — the mechanisms whose preventive-action
+ *  streams BreakHammer scores most directly. */
+std::vector<MitigationType>
+defaultMechanisms()
+{
+    return {MitigationType::kPara, MitigationType::kGraphene,
+            MitigationType::kHydra};
+}
+
+} // namespace
+
+std::string
+redteamStrategyCanonical(const RedteamStrategy &s)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "pat=%s,obs=%u,bub=%u,grp=%u,ho=%llu",
+                  patternToken(s.pattern), s.observeEvery,
+                  static_cast<unsigned>(s.maxBubbles), s.group,
+                  static_cast<unsigned long long>(s.handoffEpoch));
+    return buf;
+}
+
+bool
+parseRedteamStrategy(const std::string &spec, RedteamStrategy *out)
+{
+    std::vector<std::string> fields = splitFields(spec, ',');
+    if (fields.size() != 5)
+        return false;
+
+    RedteamStrategy s;
+    const char *pat = fieldValue(fields[0], "pat");
+    const char *obs = fieldValue(fields[1], "obs");
+    const char *bub = fieldValue(fields[2], "bub");
+    const char *grp = fieldValue(fields[3], "grp");
+    const char *ho = fieldValue(fields[4], "ho");
+    if (!pat || !obs || !bub || !grp || !ho)
+        return false;
+    if (!patternFromToken(pat, &s.pattern))
+        return false;
+
+    std::uint64_t v = 0;
+    if (!parseU64Field(obs, &v) || v > 1000000)
+        return false;
+    s.observeEvery = static_cast<unsigned>(v);
+    if (!parseU64Field(bub, &v) || v < 1 || v > 65536)
+        return false;
+    s.maxBubbles = static_cast<std::uint32_t>(v);
+    if (!parseU64Field(grp, &v) || v < 1 || v > 8)
+        return false;
+    s.group = static_cast<unsigned>(v);
+    if (!parseU64Field(ho, &v) || v > 1000000000)
+        return false;
+    s.handoffEpoch = v;
+
+    // Canonical means canonical: the parse must round-trip exactly, so
+    // a spec key can never alias a differently written equivalent.
+    if (redteamStrategyCanonical(s) != spec)
+        return false;
+    *out = s;
+    return true;
+}
+
+void
+applyRedteamStrategy(const RedteamStrategy &s,
+                     std::vector<WorkloadSlot> *slots)
+{
+    unsigned attackers = 0;
+    for (const WorkloadSlot &slot : *slots)
+        if (slot.kind != WorkloadSlot::Kind::kBenign)
+            ++attackers;
+    if (attackers == 0)
+        return;
+    unsigned group = std::min(s.group, attackers);
+
+    unsigned j = 0;
+    for (WorkloadSlot &slot : *slots) {
+        if (slot.kind == WorkloadSlot::Kind::kBenign)
+            continue;
+        slot.kind = WorkloadSlot::Kind::kAdaptiveAttacker;
+        slot.attacker.pattern = s.pattern;
+        slot.adaptive.observeEvery = s.observeEvery;
+        slot.adaptive.maxBubbles = s.maxBubbles;
+        slot.adaptive.groupSize = group;
+        slot.adaptive.slotIndex = j % group;
+        slot.adaptive.handoffEpoch = s.handoffEpoch;
+        ++j;
+    }
+}
+
+bool
+parseRedteamSpec(const std::string &text, RedteamSpec *out)
+{
+    std::vector<std::string> fields = splitFields(text, '/');
+    if (fields.size() != 3)
+        return false;
+    std::uint64_t seed = 0, rounds = 0, pop = 0;
+    if (!parseU64Field(fields[0], &seed) || seed < 1)
+        return false;
+    if (!parseU64Field(fields[1], &rounds) || rounds < 1 || rounds > 16)
+        return false;
+    if (!parseU64Field(fields[2], &pop) || pop < 1 || pop > 64)
+        return false;
+    RedteamSpec spec;
+    spec.seed = seed;
+    spec.rounds = static_cast<unsigned>(rounds);
+    spec.population = static_cast<unsigned>(pop);
+    *out = spec;
+    return true;
+}
+
+std::vector<RedteamStrategy>
+redteamInitialPopulation(std::uint64_t seed, unsigned population)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+    static const unsigned kObs[] = {16, 32, 64, 128};
+    static const std::uint32_t kBub[] = {16, 32, 64};
+
+    std::vector<RedteamStrategy> out;
+    out.reserve(population);
+    for (unsigned i = 0; i < population; ++i) {
+        RedteamStrategy s;
+        // Cycle the patterns so every spatial shape is represented even
+        // in tiny populations; the remaining genes are seeded draws.
+        s.pattern = static_cast<AttackPattern>(i % 3);
+        s.observeEvery = kObs[rng.nextBounded(4)];
+        s.maxBubbles = kBub[rng.nextBounded(3)];
+        s.group = rng.nextBounded(2) == 0 ? 1 : 2;
+        s.handoffEpoch = s.group > 1 ? 1024 : 0;
+        out.push_back(s);
+    }
+    return out;
+}
+
+RedteamStrategy
+mutateRedteamStrategy(Rng *rng, const RedteamStrategy &parent)
+{
+    RedteamStrategy s = parent;
+    switch (rng->nextBounded(6)) {
+      case 0:
+        s.observeEvery = std::min(1024u, std::max(8u, s.observeEvery) * 2);
+        break;
+      case 1:
+        s.observeEvery = std::max(8u, s.observeEvery / 2);
+        break;
+      case 2:
+        s.maxBubbles = std::min<std::uint32_t>(4096, s.maxBubbles * 2);
+        break;
+      case 3:
+        s.maxBubbles = std::max<std::uint32_t>(4, s.maxBubbles / 2);
+        break;
+      case 4:
+        s.pattern = static_cast<AttackPattern>(
+            (static_cast<unsigned>(s.pattern) + 1) % 3);
+        break;
+      default:
+        if (s.group == 1) {
+            s.group = 2;
+            s.handoffEpoch = 1024;
+        } else {
+            s.group = 1;
+            s.handoffEpoch = 0;
+        }
+        break;
+    }
+    if (s.observeEvery == 0)
+        s.observeEvery = 8; // Mutations never produce a fixed baseline.
+    return s;
+}
+
+double
+redteamFitness(const ExperimentConfig &config,
+               const ExperimentResult &result,
+               std::uint64_t min_attacker_acts)
+{
+    std::uint64_t attacker_acts = 0;
+    const auto &per_thread = result.raw.demandActsPerThread;
+    for (std::size_t i = 0; i < config.mix.slots.size(); ++i)
+        if (config.mix.slots[i].kind != WorkloadSlot::Kind::kBenign &&
+            i < per_thread.size())
+            attacker_acts += per_thread[i];
+    if (attacker_acts < min_attacker_acts)
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(result.preventiveActions) /
+           static_cast<double>(attacker_acts);
+}
+
+RedteamReport
+runRedteamSearch(const RedteamSpec &spec, ResultStore *store)
+{
+    std::vector<MitigationType> mechs =
+        spec.mechanisms.empty() ? defaultMechanisms() : spec.mechanisms;
+
+    // Two attacker slots: the rotation threat needs a hand-off partner.
+    MixSpec mix = makeMix("MMAA", 0);
+
+    // Fixed baselines: the non-adaptive form of every spatial pattern.
+    std::vector<RedteamStrategy> fixed;
+    for (unsigned p = 0; p < 3; ++p) {
+        RedteamStrategy s;
+        s.pattern = static_cast<AttackPattern>(p);
+        s.observeEvery = 0;
+        s.maxBubbles = 2;
+        s.group = 1;
+        s.handoffEpoch = 0;
+        fixed.push_back(s);
+    }
+
+    struct Probe
+    {
+        std::string strategy;
+        double fitness = 0.0;
+        bool adaptive = false;
+    };
+    // Per mechanism, every probe evaluated so far (all rounds).
+    std::vector<std::vector<Probe>> probes(mechs.size());
+
+    RedteamReport report;
+    std::set<std::string> seen; // Adaptive strategies already probed.
+    std::vector<RedteamStrategy> population =
+        redteamInitialPopulation(spec.seed, spec.population);
+
+    for (unsigned round = 0; round < spec.rounds; ++round) {
+        // Round grid: (strategy variant) × mechanism through the sweep
+        // engine; round 0 carries the fixed baselines too.
+        std::vector<RedteamStrategy> wave;
+        if (round == 0)
+            wave = fixed;
+        for (const RedteamStrategy &s : population) {
+            std::string key = redteamStrategyCanonical(s);
+            if (seen.insert(key).second)
+                wave.push_back(s);
+        }
+        if (wave.empty())
+            break;
+
+        SweepSpec sweep("redteam#" + std::to_string(round));
+        sweep.mix(mix).mechanisms(mechs).nRh(512).breakHammer(true);
+        sweep.instructions(spec.instructions);
+        for (const RedteamStrategy &s : wave) {
+            std::string rt = redteamStrategyCanonical(s);
+            sweep.variant(rt, [rt](ExperimentConfig &cfg) {
+                cfg.redteam = rt;
+            });
+        }
+        std::vector<ExperimentConfig> configs = sweep.expand();
+        store->prefetch(configs);
+
+        for (const ExperimentConfig &cfg : configs) {
+            const ExperimentResult &res = store->get(cfg);
+            std::size_t mech_idx = 0;
+            while (mechs[mech_idx] != cfg.mechanism)
+                ++mech_idx;
+            RedteamStrategy s;
+            bool ok = parseRedteamStrategy(cfg.redteam, &s);
+            BH_ASSERT(ok, "redteam probe with malformed spec");
+            probes[mech_idx].push_back(
+                {cfg.redteam, redteamFitness(cfg, res), s.adaptive()});
+            ++report.probes;
+        }
+
+        // Next generation: rank this round's adaptive strategies by the
+        // summed fitness across mechanisms (a strategy must travel), keep
+        // the better half, breed the rest. All RNG state derives from
+        // (seed, round) alone, so the search is order-independent.
+        if (round + 1 == spec.rounds)
+            break;
+        struct Ranked
+        {
+            double fitness;
+            std::string key;
+            RedteamStrategy strategy;
+        };
+        std::vector<Ranked> ranked;
+        for (const RedteamStrategy &s : population) {
+            std::string key = redteamStrategyCanonical(s);
+            double total = 0.0;
+            for (const auto &mech_probes : probes)
+                for (const Probe &p : mech_probes)
+                    if (p.strategy == key)
+                        total += p.fitness;
+            ranked.push_back({total, key, s});
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const Ranked &a, const Ranked &b) {
+                      if (a.fitness != b.fitness)
+                          return a.fitness < b.fitness;
+                      return a.key < b.key;
+                  });
+        std::size_t survivors =
+            std::max<std::size_t>(1, (ranked.size() + 1) / 2);
+        ranked.resize(std::min(ranked.size(), survivors));
+
+        Rng rng(spec.seed * 0x51ed270b9ull + round + 1);
+        std::vector<RedteamStrategy> next;
+        for (const Ranked &r : ranked)
+            next.push_back(r.strategy);
+        while (next.size() < spec.population && !ranked.empty()) {
+            const RedteamStrategy &parent =
+                ranked[rng.nextBounded(ranked.size())].strategy;
+            RedteamStrategy child = mutateRedteamStrategy(&rng, parent);
+            // Re-draw (bounded) when the child was already probed.
+            for (unsigned tries = 0;
+                 tries < 8 && seen.count(redteamStrategyCanonical(child));
+                 ++tries)
+                child = mutateRedteamStrategy(&rng, child);
+            next.push_back(child);
+        }
+        population = std::move(next);
+    }
+
+    // Verdict per mechanism: the best adaptive strategy must strictly
+    // out-evade every fixed baseline.
+    for (std::size_t m = 0; m < mechs.size(); ++m) {
+        RedteamMechanismOutcome out;
+        out.mechanism = mechs[m];
+        double best_fixed = std::numeric_limits<double>::infinity();
+        double best_adaptive = std::numeric_limits<double>::infinity();
+        for (const Probe &p : probes[m]) {
+            double &best = p.adaptive ? best_adaptive : best_fixed;
+            std::string &label = p.adaptive ? out.bestAdaptiveStrategy
+                                            : out.bestFixedStrategy;
+            if (p.fitness < best ||
+                (p.fitness == best && p.strategy < label)) {
+                best = p.fitness;
+                label = p.strategy;
+            }
+        }
+        out.bestFixedFitness = best_fixed;
+        out.bestAdaptiveFitness = best_adaptive;
+        out.improved = best_adaptive < best_fixed;
+        report.improvedAny = report.improvedAny || out.improved;
+        report.mechanisms.push_back(out);
+    }
+    return report;
+}
+
+} // namespace bh

@@ -94,9 +94,11 @@ System::System(const SystemConfig &config,
             config_.enableOracle ? oracles.back().get() : nullptr;
         RowCensus *census =
             config_.enableCensus ? censuses.back().get() : nullptr;
-        mc->onDemandAct = [oracle, census](unsigned bank, unsigned row,
-                                           ThreadId thread, Cycle cycle) {
-            (void)thread;
+        mc->onDemandAct = [this, oracle, census](unsigned bank,
+                                                 unsigned row,
+                                                 ThreadId thread,
+                                                 Cycle cycle) {
+            ++demandActsByThread_[thread];
             if (oracle)
                 oracle->onActivate(bank, row);
             if (census)
@@ -117,6 +119,7 @@ System::System(const SystemConfig &config,
     benignSlot.resize(config_.numCores);
     rejectCountsQuota.resize(config_.numCores, false);
     rejectTouchesLlc.resize(config_.numCores, false);
+    demandActsByThread_.resize(config_.numCores, 0);
     for (unsigned i = 0; i < config_.numCores; ++i) {
         const WorkloadSlot &slot = slots[i];
         std::uint64_t seed = config_.seed * 0x10001 + i * 0x9e3779b9;
@@ -129,12 +132,36 @@ System::System(const SystemConfig &config,
             AttackerConfig atk = slot.attacker;
             if (atk.rowBase == 0)
                 atk.rowBase = i * region + 16;
-            traces.push_back(
-                std::make_unique<AttackerTrace>(atk, mapper, seed));
+            if (slot.kind == WorkloadSlot::Kind::kAdaptiveAttacker) {
+                auto trace = std::make_unique<AdaptiveAttackerTrace>(
+                    atk, slot.adaptive, mapper, seed);
+                // The feedback view is this System; sampling is const
+                // and fires only from next(), after construction.
+                trace->bindFeedback(this, i);
+                traces.push_back(std::move(trace));
+            } else {
+                traces.push_back(
+                    std::make_unique<AttackerTrace>(atk, mapper, seed));
+            }
         }
         cores.push_back(std::make_unique<Core>(
             i, traces.back().get(), this, config_.core, benignSlot[i]));
     }
+}
+
+ThrottleFeedback
+System::sampleThrottleFeedback(ThreadId thread) const
+{
+    ThrottleFeedback fb;
+    if (bh) {
+        fb.score = bh->score(thread);
+        fb.suspect =
+            bh->isSuspect(thread) || bh->wasRecentSuspect(thread);
+    }
+    fb.quota = mshr.quota(thread);
+    fb.fullQuota = mshr.fullQuota();
+    fb.rejectStallCycles = cores[thread]->rejectStallCycles();
+    return fb;
 }
 
 System::~System() = default;
@@ -561,6 +588,7 @@ System::runLoop(Cycle max_cycles, std::uint64_t ipc_target)
     }
     result.suspectMarks = bh ? bh->suspectMarks() : 0;
     result.quotaRejections = mshr.quotaRejections();
+    result.demandActsPerThread = demandActsByThread_;
     if (bh) {
         for (unsigned t = 0; t < cores.size(); ++t) {
             result.bhScores.push_back(bh->score(t));
@@ -770,6 +798,7 @@ System::fastForward(std::uint64_t delta_insts)
         if (openRow[ch * banks + fb] == static_cast<long>(da.row))
             return;
         openRow[ch * banks + fb] = static_cast<long>(da.row);
+        ++demandActsByThread_[thread];
         if (!oracles.empty())
             oracles[ch]->onActivate(fb, da.row);
         if (!censuses.empty())
@@ -892,13 +921,21 @@ System::configFingerprint() const
     w.b(config_.enableCensus);
     w.u64(config_.seed);
     for (const WorkloadSlot &slot : slots_) {
-        w.b(slot.kind == WorkloadSlot::Kind::kAttacker);
+        w.u64(static_cast<std::uint64_t>(slot.kind));
         w.str(slot.appName);
+        w.u64(static_cast<std::uint64_t>(slot.attacker.pattern));
         w.u64(slot.attacker.numAggressors);
         w.u64(slot.attacker.rowBase);
         w.u64(slot.attacker.rowSpacing);
         w.u64(slot.attacker.numBanks);
         w.u64(slot.attacker.bubbles);
+        w.u64(slot.adaptive.observeEvery);
+        w.u64(slot.adaptive.maxBubbles);
+        w.u64(slot.adaptive.rotationStride);
+        w.u64(slot.adaptive.calmStreak);
+        w.u64(slot.adaptive.groupSize);
+        w.u64(slot.adaptive.slotIndex);
+        w.u64(slot.adaptive.handoffEpoch);
     }
     return fnv1a64(w.data().data(), w.data().size());
 }
@@ -913,6 +950,7 @@ System::saveState(StateWriter &w) const
     latencyHist.saveState(w);
     saveBoolVector(w, rejectCountsQuota);
     saveBoolVector(w, rejectTouchesLlc);
+    saveU64VectorBulk(w, demandActsByThread_);
 
     // The skip loop's retry-state snapshot: restoring it keeps a resumed
     // run on the interrupted run's exact skip trajectory.
@@ -966,8 +1004,10 @@ System::loadState(StateReader &r)
     latencyHist.loadState(r);
     loadBoolVector(r, &rejectCountsQuota);
     loadBoolVector(r, &rejectTouchesLlc);
+    loadU64VectorBulk(r, &demandActsByThread_);
     if (!r.ok() || rejectCountsQuota.size() != config_.numCores ||
-        rejectTouchesLlc.size() != config_.numCores) {
+        rejectTouchesLlc.size() != config_.numCores ||
+        demandActsByThread_.size() != config_.numCores) {
         r.fail();
         return;
     }

@@ -29,8 +29,10 @@
 #include "mitigation/factory.h"
 #include "sim/oracle.h"
 #include "stats/histogram.h"
+#include "trace/adaptive.h"
 #include "trace/attacker.h"
 #include "trace/benign.h"
+#include "trace/feedback_view.h"
 
 namespace bh {
 
@@ -41,11 +43,14 @@ struct WorkloadSlot
     {
         kBenign,
         kAttacker,
+        /** Closed-loop adaptive attacker (trace/adaptive.h). */
+        kAdaptiveAttacker,
     };
 
     Kind kind = Kind::kBenign;
     std::string appName;     ///< Catalog profile (benign slots).
-    AttackerConfig attacker; ///< Attack pattern (attacker slots).
+    AttackerConfig attacker; ///< Attack pattern (both attacker kinds).
+    AdaptiveConfig adaptive; ///< Adaptation loop (adaptive slots only).
 };
 
 /** Complete system configuration. */
@@ -107,6 +112,13 @@ struct RunResult
      */
     std::vector<double> bhScores;
     std::vector<unsigned> bhQuotas;
+    /**
+     * Demand activations attributed per thread (summed over channels).
+     * The adversarial engine's evasion accounting: an adaptive attacker
+     * is better when it forces fewer preventive actions per attacker
+     * activation than the fixed pattern does.
+     */
+    std::vector<std::uint64_t> demandActsPerThread;
     Histogram benignReadLatencyNs{2.0, 4096};
     std::vector<RowCensus::WindowSummary> censusWindows;
     bool hitCycleCap = false;
@@ -116,7 +128,7 @@ struct RunResult
 };
 
 /** The simulated machine. */
-class System : public ICoreMemory
+class System : public ICoreMemory, public IThrottleFeedbackView
 {
   public:
     System(const SystemConfig &config,
@@ -154,8 +166,11 @@ class System : public ICoreMemory
      *  v2: Histogram state gained the dropped-NaN-sample counter.
      *  v3: per-channel controller/mitigation/oracle/census sections and
      *      per-channel RejectSnapshot vectors (multi-channel scale-out);
-     *      stale v2 snapshots recompute, never mislead. */
-    static constexpr std::uint32_t kSnapshotVersion = 3;
+     *      stale v2 snapshots recompute, never mislead.
+     *  v4: per-thread demand-ACT accumulators in the system section and
+     *      adaptive-attacker trace state (adversarial engine); the
+     *      config fingerprint also covers the new slot fields. */
+    static constexpr std::uint32_t kSnapshotVersion = 4;
 
     /** Mid-run checkpointing configuration (see setCheckpoint()). */
     struct CheckpointConfig
@@ -286,6 +301,10 @@ class System : public ICoreMemory
                        std::uint64_t token) override;
     AccessOutcome store(ThreadId thread, Addr addr, bool uncached) override;
 
+    // --- IThrottleFeedbackView (adaptive attacker feedback surface) ---
+    ThrottleFeedback
+    sampleThrottleFeedback(ThreadId thread) const override;
+
     BreakHammer *breakHammer() { return bh.get(); }
     MemoryController &controller(unsigned ch = 0) { return *mcs[ch]; }
     unsigned numChannels() const
@@ -415,6 +434,10 @@ class System : public ICoreMemory
     Histogram latencyHist{2.0, 4096};
     std::uint64_t uncachedKeyCounter = 0;
     std::uint64_t completedReads = 0;
+
+    /** Demand ACTs attributed per thread, summed over channels (the
+     *  controllers' onDemandAct callbacks feed it). */
+    std::vector<std::uint64_t> demandActsByThread_;
 
     /** Persistent snapshot buffers for the skip loop (no per-tick
      *  allocation; only filled while some core is reject-blocked). */

@@ -1,5 +1,6 @@
 #include "svc/protocol.h"
 
+#include "sim/redteam.h"
 #include "sim/result_store.h"
 
 namespace bh::svc {
@@ -58,17 +59,30 @@ experimentConfigToJson(const ExperimentConfig &config)
     JsonValue slots = JsonValue::array();
     for (const WorkloadSlot &slot : config.mix.slots) {
         JsonValue s = JsonValue::object();
-        s.set("kind", slot.kind == WorkloadSlot::Kind::kAttacker
-                          ? "attacker"
-                          : "benign");
+        const char *kind = "benign";
+        if (slot.kind == WorkloadSlot::Kind::kAttacker)
+            kind = "attacker";
+        else if (slot.kind == WorkloadSlot::Kind::kAdaptiveAttacker)
+            kind = "adaptive_attacker";
+        s.set("kind", kind);
         s.set("app", slot.appName);
         JsonValue a = JsonValue::object();
+        a.set("pattern", static_cast<unsigned>(slot.attacker.pattern));
         a.set("aggressors", slot.attacker.numAggressors);
         a.set("row_base", slot.attacker.rowBase);
         a.set("row_spacing", slot.attacker.rowSpacing);
         a.set("banks", slot.attacker.numBanks);
         a.set("bubbles", slot.attacker.bubbles);
         s.set("attacker", std::move(a));
+        JsonValue ad = JsonValue::object();
+        ad.set("observe_every", slot.adaptive.observeEvery);
+        ad.set("max_bubbles", slot.adaptive.maxBubbles);
+        ad.set("rotation_stride", slot.adaptive.rotationStride);
+        ad.set("calm_streak", slot.adaptive.calmStreak);
+        ad.set("group_size", slot.adaptive.groupSize);
+        ad.set("slot_index", slot.adaptive.slotIndex);
+        ad.set("handoff_epoch", slot.adaptive.handoffEpoch);
+        s.set("adaptive", std::move(ad));
         slots.push(std::move(s));
     }
     mix.set("slots", std::move(slots));
@@ -100,6 +114,7 @@ experimentConfigToJson(const ExperimentConfig &config)
     sample.set("measure", config.sample.measure);
     sample.set("fast_forward", config.sample.fastForward);
     out.set("sample", std::move(sample));
+    out.set("redteam", config.redteam);
     return out;
 }
 
@@ -135,8 +150,10 @@ experimentConfigFromJson(const JsonValue &v, ExperimentConfig *out)
     const JsonValue *ranks = member(v, "ranks", JsonValue::Type::kNumber);
     const JsonValue *sample =
         member(v, "sample", JsonValue::Type::kObject);
+    const JsonValue *redteam =
+        member(v, "redteam", JsonValue::Type::kString);
     if (!mix || !mech || !nrh || !bh_on || !bh || !insts || !oracle ||
-        !blunt || !seed || !channels || !ranks || !sample)
+        !blunt || !seed || !channels || !ranks || !sample || !redteam)
         return false;
 
     const JsonValue *mix_name =
@@ -159,8 +176,12 @@ experimentConfigFromJson(const JsonValue &v, ExperimentConfig *out)
         const JsonValue *app = member(s, "app", JsonValue::Type::kString);
         const JsonValue *att =
             member(s, "attacker", JsonValue::Type::kObject);
-        if (!kind || !app || !att)
+        const JsonValue *adp =
+            member(s, "adaptive", JsonValue::Type::kObject);
+        if (!kind || !app || !att || !adp)
             return false;
+        const JsonValue *pattern =
+            member(*att, "pattern", JsonValue::Type::kNumber);
         const JsonValue *aggr =
             member(*att, "aggressors", JsonValue::Type::kNumber);
         const JsonValue *row_base =
@@ -171,16 +192,38 @@ experimentConfigFromJson(const JsonValue &v, ExperimentConfig *out)
             member(*att, "banks", JsonValue::Type::kNumber);
         const JsonValue *bubbles =
             member(*att, "bubbles", JsonValue::Type::kNumber);
-        if (!aggr || !row_base || !row_spacing || !banks || !bubbles)
+        if (!pattern || !aggr || !row_base || !row_spacing || !banks ||
+            !bubbles || pattern->asU64() > 2)
+            return false;
+        const JsonValue *observe =
+            member(*adp, "observe_every", JsonValue::Type::kNumber);
+        const JsonValue *max_bubbles =
+            member(*adp, "max_bubbles", JsonValue::Type::kNumber);
+        const JsonValue *stride =
+            member(*adp, "rotation_stride", JsonValue::Type::kNumber);
+        const JsonValue *calm =
+            member(*adp, "calm_streak", JsonValue::Type::kNumber);
+        const JsonValue *group =
+            member(*adp, "group_size", JsonValue::Type::kNumber);
+        const JsonValue *slot_index =
+            member(*adp, "slot_index", JsonValue::Type::kNumber);
+        const JsonValue *handoff =
+            member(*adp, "handoff_epoch", JsonValue::Type::kNumber);
+        if (!observe || !max_bubbles || !stride || !calm || !group ||
+            !slot_index || !handoff)
             return false;
         WorkloadSlot slot;
         if (kind->asString() == "attacker")
             slot.kind = WorkloadSlot::Kind::kAttacker;
+        else if (kind->asString() == "adaptive_attacker")
+            slot.kind = WorkloadSlot::Kind::kAdaptiveAttacker;
         else if (kind->asString() == "benign")
             slot.kind = WorkloadSlot::Kind::kBenign;
         else
             return false;
         slot.appName = app->asString();
+        slot.attacker.pattern =
+            static_cast<AttackPattern>(pattern->asU64());
         slot.attacker.numAggressors =
             static_cast<unsigned>(aggr->asU64());
         slot.attacker.rowBase = static_cast<unsigned>(row_base->asU64());
@@ -189,6 +232,17 @@ experimentConfigFromJson(const JsonValue &v, ExperimentConfig *out)
         slot.attacker.numBanks = static_cast<unsigned>(banks->asU64());
         slot.attacker.bubbles =
             static_cast<std::uint32_t>(bubbles->asU64());
+        slot.adaptive.observeEvery =
+            static_cast<unsigned>(observe->asU64());
+        slot.adaptive.maxBubbles =
+            static_cast<std::uint32_t>(max_bubbles->asU64());
+        slot.adaptive.rotationStride =
+            static_cast<unsigned>(stride->asU64());
+        slot.adaptive.calmStreak = static_cast<unsigned>(calm->asU64());
+        slot.adaptive.groupSize = static_cast<unsigned>(group->asU64());
+        slot.adaptive.slotIndex =
+            static_cast<unsigned>(slot_index->asU64());
+        slot.adaptive.handoffEpoch = handoff->asU64();
         config.mix.slots.push_back(std::move(slot));
     }
 
@@ -239,6 +293,15 @@ experimentConfigFromJson(const JsonValue &v, ExperimentConfig *out)
     config.seed = seed->asU64();
     config.channels = static_cast<unsigned>(channels->asU64());
     config.ranks = static_cast<unsigned>(ranks->asU64());
+    // Empty = canonical fixed attackers; non-empty must be a canonical
+    // strategy spec (the worker's runExperiment() aborts on garbage, so
+    // reject it at the wire instead).
+    config.redteam = redteam->asString();
+    if (!config.redteam.empty()) {
+        RedteamStrategy strategy;
+        if (!parseRedteamStrategy(config.redteam, &strategy))
+            return false;
+    }
     *out = std::move(config);
     return true;
 }

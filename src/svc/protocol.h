@@ -36,8 +36,10 @@
 
 namespace bh::svc {
 
-/** Wire-protocol revision; bumped on message-shape changes. */
-constexpr std::uint64_t kProtocolVersion = 1;
+/** Wire-protocol revision; bumped on message-shape changes.
+ *  v2: slot codec carries the attacker pattern, the adaptive-attacker
+ *  slot kind and parameters, and the config's red-team strategy spec. */
+constexpr std::uint64_t kProtocolVersion = 2;
 
 /**
  * Parse one frame payload into a message object. Enforces the envelope

@@ -1,0 +1,189 @@
+#include "trace/adaptive.h"
+
+#include <algorithm>
+
+namespace bh {
+
+namespace {
+
+/** Idle-phase pacing: benign-looking low-intensity compute. */
+constexpr std::uint32_t kIdleBubbles = 48;
+
+} // namespace
+
+AdaptiveAttackerTrace::AdaptiveAttackerTrace(const AttackerConfig &attack,
+                                             const AdaptiveConfig &adaptive,
+                                             const AddressMap &mapper,
+                                             std::uint64_t seed)
+    : attack_(attack), adaptive_(adaptive), mapper(mapper), rng(seed)
+{
+    const DramOrg &org = mapper.org();
+    unsigned total_banks = org.totalBanks() * org.channels;
+    unsigned num_banks = attack.numBanks
+                             ? std::min(attack.numBanks, total_banks)
+                             : total_banks;
+
+    seq = attackerRowSequence(attack_);
+    bankCoords = attackerBankCoords(org, num_banks);
+    bubbles_ = attack_.bubbles;
+
+    // Auto stride: shift past the pattern's whole row span plus a guard
+    // gap, so rotated windows never overlap the previous victims.
+    unsigned span = 0;
+    for (unsigned row : seq)
+        span = std::max(span, row - attack_.rowBase + 1);
+    stride = adaptive_.rotationStride ? adaptive_.rotationStride : span + 8;
+
+    // Idle-phase cached accesses live far from any rotated aggressor
+    // window (half the bank away), so hand-off idling never hammers.
+    idleRow =
+        (attack_.rowBase + org.rowsPerBank / 2) % org.rowsPerBank;
+}
+
+bool
+AdaptiveAttackerTrace::activeNow() const
+{
+    return slotActiveAt(recordCount, adaptive_, adaptive_.slotIndex);
+}
+
+unsigned
+AdaptiveAttackerTrace::rotatedRow(unsigned base_row) const
+{
+    const DramOrg &org = mapper.org();
+    std::uint64_t shifted =
+        static_cast<std::uint64_t>(base_row) +
+        static_cast<std::uint64_t>(rotation_) * stride;
+    return static_cast<unsigned>(shifted % org.rowsPerBank);
+}
+
+std::vector<unsigned>
+AdaptiveAttackerTrace::currentAggressorRows() const
+{
+    std::vector<unsigned> rows = attackerAggressorRows(attack_);
+    for (unsigned &row : rows)
+        row = rotatedRow(row);
+    return rows;
+}
+
+TraceRecord
+AdaptiveAttackerTrace::next()
+{
+    bool active = activeNow();
+    ++recordCount;
+
+    TraceRecord rec;
+    rec.isWrite = false;
+
+    if (!active) {
+        // Hand-off idle phase: benign-looking cached compute on a fixed
+        // line far from every aggressor window. No RNG draw, no feedback
+        // sample — the idle stream is a pure function of the schedule.
+        rec.bubbles = kIdleBubbles;
+        rec.uncached = false;
+        DramAddress da = bankCoords[0];
+        da.row = idleRow;
+        da.column = 0;
+        rec.addr = mapper.encode(da);
+        return rec;
+    }
+
+    // Observation point: sample the feedback view every observeEvery
+    // attacking records and mutate the pattern. Decisions are counted in
+    // records (never cycles), so the decision sequence is a pure function
+    // of the observed feedback values.
+    if (feedback && adaptive_.observeEvery > 0 &&
+        ++sinceObserve >= adaptive_.observeEvery) {
+        sinceObserve = 0;
+        ThrottleFeedback fb = feedback->sampleThrottleFeedback(self_);
+        ++observationCount;
+        lastScore_ = fb.score;
+        lastQuota_ = fb.quota;
+        if (fb.throttled()) {
+            ++throttledObs;
+            calmCount = 0;
+            // Back off the pacing and rotate to a fresh aggressor
+            // window: the score already attributed to the old rows'
+            // preventive actions stops growing, and the halved access
+            // rate slows re-accumulation.
+            bubbles_ = std::min<std::uint32_t>(
+                adaptive_.maxBubbles,
+                bubbles_ ? bubbles_ * 2 : 1);
+            ++rotation_;
+            rowCursor = 0;
+            bankCursor = 0;
+        } else if (++calmCount >= adaptive_.calmStreak) {
+            calmCount = 0;
+            // Quiet streak: re-accelerate one step toward full rate.
+            bubbles_ = std::max<std::uint32_t>(attack_.bubbles,
+                                               bubbles_ / 2);
+        }
+    }
+
+    rec.bubbles = bubbles_;
+    rec.uncached = true;
+
+    DramAddress da = bankCoords[bankCursor];
+    da.row = rotatedRow(seq[rowCursor]);
+    da.column = static_cast<unsigned>(
+        rng.nextBounded(mapper.org().linesPerRow));
+
+    if (++bankCursor >= bankCoords.size()) {
+        bankCursor = 0;
+        rowCursor = (rowCursor + 1) % static_cast<unsigned>(seq.size());
+    }
+
+    rec.addr = mapper.encode(da);
+    return rec;
+}
+
+void
+AdaptiveAttackerTrace::saveState(StateWriter &w) const
+{
+    w.tag("adaptive_trace");
+    w.u64(rng.rawState());
+    w.u64(bankCursor);
+    w.u64(rowCursor);
+    w.u64(rotation_);
+    w.u32(bubbles_);
+    w.u64(recordCount);
+    w.u64(sinceObserve);
+    w.u64(observationCount);
+    w.u64(throttledObs);
+    w.u64(calmCount);
+    w.d(lastScore_);
+    w.u64(lastQuota_);
+}
+
+void
+AdaptiveAttackerTrace::loadState(StateReader &r)
+{
+    r.tag("adaptive_trace");
+    std::uint64_t raw = r.u64();
+    unsigned bank_cursor = static_cast<unsigned>(r.u64());
+    unsigned row_cursor = static_cast<unsigned>(r.u64());
+    unsigned rotation = static_cast<unsigned>(r.u64());
+    std::uint32_t bubbles = r.u32();
+    std::uint64_t records = r.u64();
+    unsigned since_observe = static_cast<unsigned>(r.u64());
+    std::uint64_t observed = r.u64();
+    std::uint64_t throttled = r.u64();
+    unsigned calm = static_cast<unsigned>(r.u64());
+    double last_score = r.d();
+    unsigned last_quota = static_cast<unsigned>(r.u64());
+    if (!r.ok())
+        return;
+    rng.setRawState(raw);
+    bankCursor = bank_cursor;
+    rowCursor = row_cursor;
+    rotation_ = rotation;
+    bubbles_ = bubbles;
+    recordCount = records;
+    sinceObserve = since_observe;
+    observationCount = observed;
+    throttledObs = throttled;
+    calmCount = calm;
+    lastScore_ = last_score;
+    lastQuota_ = last_quota;
+}
+
+} // namespace bh

@@ -26,9 +26,34 @@
 
 namespace bh {
 
+/**
+ * Spatial shape of the hammering kernel. All three are expressed as a
+ * deterministic aggressor-row visit sequence, so the RowCensus and the
+ * HammerOracle observe exactly the per-row activation profile each
+ * pattern is known for and can verdict it against N_RH.
+ */
+enum class AttackPattern : std::uint8_t
+{
+    /** The paper's artifact pattern: numAggressors rows per bank, visited
+     *  round-robin (the historical default; byte-identical behavior). */
+    kManySided = 0,
+    /** Classic double-sided pairs: aggressors sandwich a victim row
+     *  (victim v, aggressors v-1 and v+1), one pair per two aggressors. */
+    kDoubleSided = 1,
+    /**
+     * Half-Double-style two-hop profile: per site, two far aggressors
+     *  (distance 2 from the victim) are hammered heavily while the two
+     *  near rows (distance 1) receive occasional "dilution" accesses —
+     *  the far:near activation ratio is what the census/oracle verdict.
+     */
+    kHalfDouble = 2,
+};
+
 /** Configuration of a many-sided hammering kernel. */
 struct AttackerConfig
 {
+    /** Spatial pattern; defaults to the historical many-sided kernel. */
+    AttackPattern pattern = AttackPattern::kManySided;
     /** Aggressor rows hammered in each attacked bank. */
     unsigned numAggressors = 6;
     /** Row index of the first aggressor (0 = auto-place per core slot). */
@@ -45,6 +70,24 @@ struct AttackerConfig
     /** Non-memory instructions between accesses (attackers busy-loop). */
     std::uint32_t bubbles = 2;
 };
+
+/**
+ * The unique aggressor rows of @p config, relative to rowBase (pattern
+ * geometry only; callers add rotation offsets). kManySided reproduces
+ * the historical rowBase + i * rowSpacing layout bit for bit.
+ */
+std::vector<unsigned> attackerAggressorRows(const AttackerConfig &config);
+
+/**
+ * The deterministic row visit sequence of @p config: one full period of
+ * the pattern. For kManySided this equals attackerAggressorRows(); for
+ * kHalfDouble far rows repeat kHalfDoubleFarPerNear times per near
+ * access (the dilution ratio).
+ */
+std::vector<unsigned> attackerRowSequence(const AttackerConfig &config);
+
+/** Far-row accesses per near-row access in the Half-Double sequence. */
+inline constexpr unsigned kHalfDoubleFarPerNear = 8;
 
 /** Many-sided hammer trace source. */
 class AttackerTrace : public TraceSource
@@ -71,11 +114,21 @@ class AttackerTrace : public TraceSource
     const AddressMap &mapper;
     Rng rng;
     std::string name_ = "hammer_attacker";
-    std::vector<unsigned> rows;
+    std::vector<unsigned> rows; ///< Unique aggressor rows (introspection).
+    std::vector<unsigned> seq;  ///< Row visit sequence (one period).
     std::vector<DramAddress> bankCoords; ///< One template per bank.
     unsigned bankCursor = 0;
     unsigned rowCursor = 0;
     unsigned numBanks_ = 0;
 };
+
+/**
+ * Bank coordinate templates shared by the attacker traces: @p num_banks
+ * banks enumerated in channel- then rank-parallel order (alternate
+ * channels, then ranks, then bank groups) — with one channel this is the
+ * historical order.
+ */
+std::vector<DramAddress> attackerBankCoords(const DramOrg &org,
+                                            unsigned num_banks);
 
 } // namespace bh

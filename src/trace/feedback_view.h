@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The narrow read-only feedback surface an adaptive attacker observes.
+ *
+ * BreakHammer's §5.2 security argument assumes attackers that cannot see
+ * their own throttling; the adversarial engine deliberately breaks that
+ * assumption, but only through signals a real attacker could measure from
+ * software: its own preventive score / suspect flag (§4's "feedback to
+ * system software" surface), its effective MSHR quota (measurable as a
+ * memory-level-parallelism ceiling), and its reject-stall time. The view
+ * is const and layering-safe — traces never reach into BreakHammer or
+ * MSHR internals, System mediates every sample — and sampling it is
+ * observation-only, so dense and event-driven loops (which call
+ * TraceSource::next() at bit-identical cycles) stay byte-identical.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace bh {
+
+/** One sample of a thread's own observable throttling state. */
+struct ThrottleFeedback
+{
+    /** BreakHammer preventive score of the thread (0 without BH). */
+    double score = 0.0;
+    /** Marked suspect now, or in the recently expired window. */
+    bool suspect = false;
+    /** The thread's current MSHR quota. */
+    unsigned quota = 0;
+    /** The unthrottled quota (full MSHR file size). */
+    unsigned fullQuota = 0;
+    /** Cycles this thread's core spent blocked on rejected accesses. */
+    std::uint64_t rejectStallCycles = 0;
+
+    /** Whether the thread is observably throttled right now. */
+    bool
+    throttled() const
+    {
+        return suspect || (fullQuota > 0 && quota < fullQuota);
+    }
+};
+
+/** Read-only provider of per-thread throttle feedback (System). */
+class IThrottleFeedbackView
+{
+  public:
+    virtual ~IThrottleFeedbackView() = default;
+
+    /** Sample @p thread's current feedback; const and side-effect free. */
+    virtual ThrottleFeedback
+    sampleThrottleFeedback(ThreadId thread) const = 0;
+};
+
+} // namespace bh

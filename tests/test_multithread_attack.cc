@@ -12,7 +12,9 @@
 
 #include <cmath>
 
+#include "breakhammer/feedback.h"
 #include "breakhammer/security_model.h"
+#include "sim/redteam.h"
 #include "sim/system.h"
 
 namespace bh {
@@ -106,6 +108,76 @@ TEST(MultiThreadAttackTest, TighterOutlierRaisesTheBar)
               maxAttackerScoreBound(0.5, 0.65));
     EXPECT_LT(maxAttackerScoreBound(0.25, 0.05),
               maxAttackerScoreBound(0.25, 0.65));
+}
+
+TEST(MultiThreadAttackTest, OwnerAccumulationCatchesRotatingAdaptive)
+{
+    // The adversarial engine's hand-off rotation (§5.2 threat expressed
+    // as a red-team strategy): two adaptive attacker threads alternate
+    // ownership of the attack on a record-count epoch and back off when
+    // their feedback view reports throttling. Per-thread suspect state
+    // can collapse under this schedule — which is exactly why feedback.h
+    // accumulates scores at the software-level owner. Polled on
+    // scheduler-tick cadence, the monitor must rank the owner of the
+    // rotating pair above every benign owner.
+    const unsigned cores = 8;
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.mitigation = MitigationType::kPara;
+    cfg.nRh = 512;
+    cfg.breakHammer = true;
+    cfg.bh.window = 200000;
+    cfg.bh.thThreat = 2.0;
+    cfg.bh.thOutlier = 0.65;
+
+    const char *benign_apps[] = {"mcf_like",    "lbm_like",
+                                 "parest_like", "tpcc_like",
+                                 "namd_like",   "h264_like"};
+    std::vector<WorkloadSlot> slots(cores);
+    for (unsigned i = 0; i < 6; ++i)
+        slots[i].appName = benign_apps[i];
+    for (unsigned i = 6; i < cores; ++i)
+        slots[i].kind = WorkloadSlot::Kind::kAttacker;
+
+    RedteamStrategy strategy;
+    strategy.pattern = AttackPattern::kDoubleSided;
+    strategy.observeEvery = 64;
+    strategy.maxBubbles = 8; // Shallow back-off: keep hammering hard.
+    strategy.group = 2;
+    strategy.handoffEpoch = 512;
+    applyRedteamStrategy(strategy, &slots);
+    ASSERT_EQ(slots[6].kind, WorkloadSlot::Kind::kAdaptiveAttacker);
+    ASSERT_EQ(slots[7].adaptive.slotIndex, 1u);
+
+    System sys(cfg, slots);
+    SoftwareMonitor monitor(sys.breakHammer(), cores);
+    const OwnerId attack_owner = 42;
+    for (unsigned i = 0; i < 6; ++i)
+        monitor.bind(i, 100 + i); // Each benign app its own process.
+    for (unsigned i = 6; i < cores; ++i)
+        monitor.bind(i, attack_owner); // One process owns both threads.
+
+    // Scheduler-tick polling: run in phases, poll between them so score
+    // increases are accredited before window resets wipe the per-thread
+    // counters.
+    sys.run(4000, 15000000);
+    monitor.poll();
+    for (int tick = 0; tick < 11; ++tick) {
+        sys.runDelta(4000, 15000000);
+        monitor.poll();
+    }
+
+    // The owner total crosses the threat threshold and dominates every
+    // benign owner: the monitor's top suspect is the rotating pair's
+    // process, regardless of what the per-thread marks say.
+    EXPECT_GT(monitor.ownerScore(attack_owner), cfg.bh.thThreat);
+    for (unsigned i = 0; i < 6; ++i)
+        EXPECT_GT(monitor.ownerScore(attack_owner),
+                  monitor.ownerScore(100 + i))
+            << "benign owner " << 100 + i;
+    auto flagged = monitor.flaggedOwners(monitor.ownerScore(attack_owner));
+    ASSERT_EQ(flagged.size(), 1u);
+    EXPECT_EQ(flagged[0], attack_owner);
 }
 
 /** Detection sweep: attackers in 1..4 of 8 threads stay detectable. */

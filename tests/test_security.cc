@@ -10,6 +10,9 @@
  */
 #include <gtest/gtest.h>
 
+#include "breakhammer/security_model.h"
+#include "sim/experiment.h"
+#include "sim/mixes.h"
 #include "sim/oracle.h"
 #include "sim/system.h"
 
@@ -95,6 +98,56 @@ caseName(const ::testing::TestParamInfo<SecurityCase> &info)
 
 INSTANTIATE_TEST_SUITE_P(AllMechanisms, SecurityPropertyTest,
                          ::testing::ValuesIn(securityCases()), caseName);
+
+TEST(RedteamSecurityTest, WorstStrategyRespectsBoundsAndGoldens)
+{
+    // Security regression for the adversarial engine: the red-team
+    // fuzzer's best-evading strategy shape (shallow-back-off many-sided,
+    // the winner of the pinned seed search) must degrade throttling, not
+    // protection. The probe runs under the oracle and must (a) keep
+    // every row below N_RH (§5.1), (b) keep the normalized score any
+    // attack thread reaches within the Expression 2 analytic bound, and
+    // (c) reproduce pinned weighted-speedup / max-slowdown goldens so a
+    // silent change to adaptive-attacker behaviour cannot hide.
+    ExperimentConfig cfg;
+    cfg.mix = makeMix("MMAA", 0);
+    cfg.mechanism = MitigationType::kPara;
+    cfg.nRh = 512;
+    cfg.breakHammer = true;
+    cfg.instructions = 20000;
+    cfg.oracle = true;
+    cfg.redteam = "pat=many,obs=32,bub=16,grp=1,ho=0";
+    ExperimentResult r = runExperiment(cfg);
+
+    // (a) Evasion never weakens the paired mechanism's guarantee.
+    EXPECT_EQ(r.raw.oracleViolations, 0u)
+        << "max=" << r.raw.oracleMaxCount;
+    EXPECT_LT(r.raw.oracleMaxCount, cfg.nRh);
+    // The probe must actually hammer for (a) to mean anything.
+    ASSERT_EQ(r.raw.demandActsPerThread.size(), 4u);
+    EXPECT_GT(r.raw.demandActsPerThread[2] +
+                  r.raw.demandActsPerThread[3],
+              1000u);
+
+    // (b) Expression 2: two attack threads of four is fraction 0.5; at
+    // the default TH_outlier the bound is finite, and the final
+    // normalized per-thread scores respect it.
+    BreakHammerConfig bh_defaults;
+    double bound = maxAttackerScoreBound(0.5, bh_defaults.thOutlier);
+    ASSERT_TRUE(std::isfinite(bound));
+    ASSERT_EQ(r.raw.bhScores.size(), 4u);
+    double benign_mean =
+        (r.raw.bhScores[0] + r.raw.bhScores[1]) / 2.0;
+    if (benign_mean > 0.0) {
+        EXPECT_LE(r.raw.bhScores[2] / benign_mean, bound);
+        EXPECT_LE(r.raw.bhScores[3] / benign_mean, bound);
+    }
+
+    // (c) Pinned goldens (deterministic simulation; loose tolerance is
+    // deliberate slack for float summation order, not for behaviour).
+    EXPECT_NEAR(r.weightedSpeedup, 0.65140787882221596, 1e-6);
+    EXPECT_NEAR(r.maxSlowdown, 3.2047033458436474, 1e-6);
+}
 
 TEST(OracleTest, CountsAndResets)
 {

@@ -31,7 +31,9 @@
 #include "mitigation/misra_gries.h"
 #include "sim/experiment.h"
 #include "sim/mixes.h"
+#include "sim/redteam.h"
 #include "sim/system.h"
+#include "trace/adaptive.h"
 
 namespace bh {
 namespace {
@@ -368,6 +370,85 @@ TEST(BreakHammerSnapshotTest, MidWindowRoundTripIsFieldExact)
     EXPECT_EQ(a.suspectMarks(), b.suspectMarks());
 }
 
+// --------------------------------------------- adaptive attacker trace
+
+/** Deterministic feedback script for driving mid-adaptation state. */
+class AlternatingFeedback : public IThrottleFeedbackView
+{
+  public:
+    ThrottleFeedback
+    sampleThrottleFeedback(ThreadId) const override
+    {
+        ThrottleFeedback fb;
+        fb.suspect = calls_++ % 2 == 0;
+        fb.score = static_cast<double>(calls_) * 0.25;
+        fb.quota = 3;
+        fb.fullQuota = 16;
+        return fb;
+    }
+
+  private:
+    mutable std::uint64_t calls_ = 0;
+};
+
+TEST(AdaptiveTraceSnapshotTest, MidAdaptationRoundTripIsFieldExact)
+{
+    AddressMap mapper(DramSpec::ddr5().org);
+    AttackerConfig attack;
+    attack.pattern = AttackPattern::kHalfDouble;
+    attack.rowBase = 96;
+    AdaptiveConfig adaptive;
+    adaptive.observeEvery = 16;
+    adaptive.groupSize = 2;
+    adaptive.slotIndex = 0;
+    adaptive.handoffEpoch = 96;
+
+    // Drive to an arbitrary point mid-epoch and mid-observation window,
+    // with rotations, back-off, and feedback history all non-trivial.
+    AlternatingFeedback feedback;
+    AdaptiveAttackerTrace a(attack, adaptive, mapper, 13);
+    a.bindFeedback(&feedback, 2);
+    for (int i = 0; i < 16 * 7 + 5; ++i)
+        a.next();
+    ASSERT_GT(a.rotation(), 0u);
+    ASSERT_GT(a.lastScore(), 0.0);
+
+    // Restore into a fresh twin: serialized state must be byte-equal
+    // (covers the RNG cursor and the observed-feedback history).
+    std::string blob = stateBlob(a);
+    AdaptiveAttackerTrace b(attack, adaptive, mapper, 13);
+    {
+        StateReader r(blob);
+        b.loadState(r);
+        ASSERT_TRUE(r.ok());
+        ASSERT_TRUE(r.atEnd());
+    }
+    EXPECT_EQ(stateBlob(b), blob);
+    EXPECT_EQ(b.rotation(), a.rotation());
+    EXPECT_EQ(b.currentBubbles(), a.currentBubbles());
+    EXPECT_EQ(b.lastScore(), a.lastScore());
+    EXPECT_EQ(b.lastQuota(), a.lastQuota());
+    EXPECT_EQ(b.currentAggressorRows(), a.currentAggressorRows());
+
+    // And both continue bit-identically through further adaptation.
+    AlternatingFeedback fa, fb2;
+    // Re-bind fresh scripts at the same call offset: copy-construct the
+    // original's position by replaying its observation count.
+    for (std::uint64_t i = 0; i < a.observations(); ++i) {
+        fa.sampleThrottleFeedback(0);
+        fb2.sampleThrottleFeedback(0);
+    }
+    a.bindFeedback(&fa, 2);
+    b.bindFeedback(&fb2, 2);
+    for (int i = 0; i < 500; ++i) {
+        TraceRecord ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.addr, rb.addr);
+        EXPECT_EQ(ra.bubbles, rb.bubbles);
+        EXPECT_EQ(ra.uncached, rb.uncached);
+    }
+    EXPECT_EQ(stateBlob(a), stateBlob(b));
+}
+
 // ------------------------------------------------------- full System
 
 SystemConfig
@@ -424,6 +505,8 @@ struct SystemRegime
     unsigned nRh;
     bool breakHammer;
     bool oracle;
+    /** Red-team strategy applied to the mix's attacker slots (or null). */
+    const char *redteam = nullptr;
 };
 
 class SystemSnapshotTest : public ::testing::TestWithParam<SystemRegime>
@@ -439,6 +522,11 @@ TEST_P(SystemSnapshotTest, ResumedRunMatchesUninterruptedRun)
     cfg.breakHammer = regime.breakHammer;
     cfg.oracle = regime.oracle;
     cfg.instructions = 5000;
+    if (regime.redteam != nullptr) {
+        RedteamStrategy strategy;
+        ASSERT_TRUE(parseRedteamStrategy(regime.redteam, &strategy));
+        applyRedteamStrategy(strategy, &cfg.mix.slots);
+    }
     SystemConfig sys = systemConfigFor(cfg);
     const std::uint64_t insts = cfg.instructions;
     const Cycle cap = insts * 150;
@@ -489,7 +577,10 @@ INSTANTIATE_TEST_SUITE_P(
         SystemRegime{"blockhammer_lowthresh", "LLLA",
                      MitigationType::kBlockHammer, 128, false, false},
         SystemRegime{"para_rng", "MMLA", MitigationType::kPara, 1024,
-                     true, false}),
+                     true, false},
+        SystemRegime{"redteam_adaptive_rotating", "MMAA",
+                     MitigationType::kPara, 512, true, false,
+                     "pat=half,obs=32,bub=64,grp=2,ho=512"}),
     [](const ::testing::TestParamInfo<SystemRegime> &info) {
         return info.param.name;
     });

@@ -57,16 +57,23 @@ mixConfig(const char *pattern, MitigationType mech, unsigned n_rh,
  *  PRAC rows use, one at moderate N_RH and one at low N_RH where the
  *  RowBlocker delays benign rows too, so epoch rollovers, blacklist
  *  delays, and AttackThrottler quota resets all fire inside the skip
- *  window. */
+ *  window. A sixth regime runs the adversarial engine: a red-team probe
+ *  whose rotating adaptive attackers observe their own throttling —
+ *  adaptation decisions are counted in emitted records, so the decision
+ *  sequence (and thus every result byte) must survive the reordering. */
 std::vector<ExperimentConfig>
 skipGrid()
 {
+    ExperimentConfig redteam =
+        mixConfig("MMAA", MitigationType::kPara, 512, true);
+    redteam.redteam = "pat=double,obs=32,bub=64,grp=2,ho=256";
     return {
         mixConfig("HHMM", MitigationType::kHydra, 512, false),
         mixConfig("HHMA", MitigationType::kGraphene, 512, true),
         mixConfig("LLLA", MitigationType::kPrac, 256, true),
         mixConfig("HHMA", MitigationType::kBlockHammer, 512, false),
         mixConfig("LLLA", MitigationType::kBlockHammer, 128, false),
+        redteam,
     };
 }
 
@@ -111,6 +118,8 @@ TEST(SystemSkipTest, RawRunResultsMatchDenseTickFieldByField)
         EXPECT_EQ(event_r.raw.suspectMarks, dense_r.raw.suspectMarks);
         EXPECT_EQ(event_r.raw.quotaRejections, dense_r.raw.quotaRejections);
         EXPECT_EQ(event_r.raw.energyNj, dense_r.raw.energyNj);
+        EXPECT_EQ(event_r.raw.demandActsPerThread,
+                  dense_r.raw.demandActsPerThread);
         ASSERT_EQ(event_r.raw.cores.size(), dense_r.raw.cores.size());
         for (std::size_t i = 0; i < event_r.raw.cores.size(); ++i) {
             const CoreResult &a = event_r.raw.cores[i];

@@ -5,10 +5,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
 #include <set>
 
 #include "dram/address.h"
+#include "dram/row_census.h"
 #include "dram/spec.h"
+#include "trace/adaptive.h"
 #include "trace/attacker.h"
 #include "trace/benign.h"
 #include "trace/profiler.h"
@@ -168,6 +172,254 @@ TEST(AttackerTest, LimitedBankFootprint)
     for (int i = 0; i < 500; ++i)
         banks.insert(mapper().flatBank(mapper().decode(t.next().addr)));
     EXPECT_EQ(banks.size(), 4u);
+}
+
+TEST(AttackPatternTest, DoubleSidedSandwichesVictims)
+{
+    AttackerConfig cfg;
+    cfg.pattern = AttackPattern::kDoubleSided;
+    cfg.rowBase = 300;
+    cfg.numAggressors = 4; // Two victim sites.
+    std::vector<unsigned> rows = attackerAggressorRows(cfg);
+    // Victims at 301 and 305; aggressors sandwich each at distance 1.
+    EXPECT_EQ(rows, (std::vector<unsigned>{300, 302, 304, 306}));
+}
+
+TEST(AttackPatternTest, ManySidedSequenceIsHistoricalLayout)
+{
+    AttackerConfig cfg;
+    cfg.rowBase = 40;
+    cfg.numAggressors = 3;
+    cfg.rowSpacing = 2;
+    EXPECT_EQ(attackerRowSequence(cfg),
+              (std::vector<unsigned>{40, 42, 44}));
+    EXPECT_EQ(attackerRowSequence(cfg), attackerAggressorRows(cfg));
+}
+
+TEST(AttackPatternTest, HalfDoubleFarNearActivationRatio)
+{
+    AttackerConfig cfg;
+    cfg.pattern = AttackPattern::kHalfDouble;
+    cfg.rowBase = 500;
+    cfg.numAggressors = 4; // One Half-Double site.
+    cfg.numBanks = 1;      // One bank: census counts are per pattern.
+    AttackerTrace t(cfg, mapper(), 1);
+
+    // Drive the pattern into the census — the same ground-truth record
+    // the oracle verdicts against N_RH.
+    RowCensus census(1u << 30);
+    Cycle now = 0;
+    const int periods = 50;
+    const int per_period = 2 * kHalfDoubleFarPerNear + 2;
+    for (int i = 0; i < periods * per_period; ++i) {
+        DramAddress da = mapper().decode(t.next().addr);
+        census.recordAct(mapper().flatBank(da), da.row, now++);
+    }
+
+    unsigned bank = mapper().flatBank(
+        DramAddress{.row = 0, .column = 0}); // bankCoords[0] template.
+    // Site rows: far = base, base+4 (victim at base+2); near = base+1,
+    // base+3. Far rows get kHalfDoubleFarPerNear ACTs per near ACT.
+    std::uint32_t far_acts = census.currentCount(bank, 500);
+    std::uint32_t near_acts = census.currentCount(bank, 501);
+    EXPECT_EQ(far_acts, periods * kHalfDoubleFarPerNear);
+    EXPECT_EQ(near_acts, static_cast<std::uint32_t>(periods));
+    EXPECT_EQ(census.currentCount(bank, 504), far_acts);
+    EXPECT_EQ(census.currentCount(bank, 503), near_acts);
+    // The victim row itself is never activated.
+    EXPECT_EQ(census.currentCount(bank, 502), 0u);
+    // Thresholding between near and far counts isolates the far rows.
+    EXPECT_EQ(census.currentRowsOver(periods), 2u);
+    EXPECT_EQ(census.currentRowsOver(periods - 1), 4u);
+}
+
+// --- Adaptive attacker ---------------------------------------------
+
+/** Scripted feedback: a pure function of the observation index. */
+class ScriptedFeedback : public IThrottleFeedbackView
+{
+  public:
+    explicit ScriptedFeedback(
+        std::function<ThrottleFeedback(std::uint64_t)> fn)
+        : fn_(std::move(fn))
+    {
+    }
+
+    ThrottleFeedback
+    sampleThrottleFeedback(ThreadId) const override
+    {
+        return fn_(calls_++);
+    }
+
+  private:
+    std::function<ThrottleFeedback(std::uint64_t)> fn_;
+    mutable std::uint64_t calls_ = 0;
+};
+
+TEST(AdaptiveTraceTest, UnboundStreamMatchesFixedAttacker)
+{
+    // The obs=0 / unbound adaptive trace is the fuzzer's fixed baseline:
+    // its record stream must be bit-identical to AttackerTrace.
+    AttackerConfig cfg;
+    cfg.rowBase = 700;
+    AttackerTrace fixed(cfg, mapper(), 9);
+    AdaptiveAttackerTrace adaptive(cfg, AdaptiveConfig{}, mapper(), 9);
+    for (int i = 0; i < 5000; ++i) {
+        TraceRecord a = fixed.next(), b = adaptive.next();
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.bubbles, b.bubbles);
+        EXPECT_EQ(a.uncached, b.uncached);
+        EXPECT_EQ(a.isWrite, b.isWrite);
+    }
+    EXPECT_EQ(adaptive.rotation(), 0u);
+    EXPECT_EQ(adaptive.observations(), 0u);
+}
+
+TEST(AdaptiveTraceTest, ThrottledFeedbackBacksOffAndRotates)
+{
+    AttackerConfig cfg;
+    cfg.rowBase = 100;
+    cfg.bubbles = 2;
+    AdaptiveConfig ad;
+    ad.observeEvery = 16;
+    ad.maxBubbles = 32;
+    ad.rotationStride = 64;
+    ScriptedFeedback throttled([](std::uint64_t) {
+        ThrottleFeedback fb;
+        fb.suspect = true;
+        fb.quota = 1;
+        fb.fullQuota = 16;
+        return fb;
+    });
+    AdaptiveAttackerTrace t(cfg, ad, mapper(), 3);
+    t.bindFeedback(&throttled, 0);
+
+    std::vector<unsigned> before = t.currentAggressorRows();
+    for (int i = 0; i < 16 * 3; ++i)
+        t.next();
+    EXPECT_EQ(t.observations(), 3u);
+    EXPECT_EQ(t.throttledObservations(), 3u);
+    EXPECT_EQ(t.rotation(), 3u);
+    // Pacing walked 2 -> 4 -> 8 -> 16, capped at maxBubbles eventually.
+    EXPECT_EQ(t.currentBubbles(), 16u);
+    std::vector<unsigned> after = t.currentAggressorRows();
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i)
+        EXPECT_EQ(after[i], before[i] + 3u * 64u);
+}
+
+TEST(AdaptiveTraceTest, CalmStreakReaccelerates)
+{
+    AttackerConfig cfg;
+    cfg.rowBase = 100;
+    cfg.bubbles = 2;
+    AdaptiveConfig ad;
+    ad.observeEvery = 8;
+    ad.maxBubbles = 64;
+    ad.calmStreak = 2;
+    // One throttled observation, then calm forever.
+    ScriptedFeedback script([](std::uint64_t call) {
+        ThrottleFeedback fb;
+        fb.suspect = call == 0;
+        return fb;
+    });
+    AdaptiveAttackerTrace t(cfg, ad, mapper(), 3);
+    t.bindFeedback(&script, 0);
+
+    for (int i = 0; i < 8; ++i)
+        t.next();
+    EXPECT_EQ(t.currentBubbles(), 4u); // Backed off 2 -> 4.
+    for (int i = 0; i < 8 * 2; ++i)
+        t.next();
+    // Two calm observations re-accelerate one step, floored at the
+    // configured pacing.
+    EXPECT_EQ(t.currentBubbles(), 2u);
+}
+
+TEST(AdaptiveTraceTest, StreamBitDeterministicUnderSameFeedback)
+{
+    AttackerConfig cfg;
+    cfg.rowBase = 64;
+    AdaptiveConfig ad;
+    ad.observeEvery = 32;
+    auto script = [](std::uint64_t call) {
+        ThrottleFeedback fb;
+        fb.suspect = call % 3 == 1;
+        fb.score = static_cast<double>(call);
+        return fb;
+    };
+    ScriptedFeedback fa(script), fb(script);
+    AdaptiveAttackerTrace a(cfg, ad, mapper(), 11);
+    AdaptiveAttackerTrace b(cfg, ad, mapper(), 11);
+    a.bindFeedback(&fa, 0);
+    b.bindFeedback(&fb, 0);
+    for (int i = 0; i < 4000; ++i) {
+        TraceRecord ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.addr, rb.addr);
+        EXPECT_EQ(ra.bubbles, rb.bubbles);
+    }
+    EXPECT_GT(a.rotation(), 0u); // The script did force adaptation.
+}
+
+TEST(AdaptiveTraceTest, DecisionSequenceIsChannelInvariant)
+{
+    // Literal addresses differ across channel counts (channel bits), but
+    // the decision sequence — decoded row, pacing, cache flag — is
+    // counted in records, never cycles, so it is organization-invariant.
+    DramOrg org1 = DramSpec::ddr5().org;
+    DramOrg org4 = DramSpec::ddr5().org;
+    org4.channels = 4;
+    AddressMap map1(org1), map4(org4);
+
+    AttackerConfig cfg;
+    cfg.rowBase = 256;
+    AdaptiveConfig ad;
+    ad.observeEvery = 24;
+    auto script = [](std::uint64_t call) {
+        ThrottleFeedback fb;
+        fb.suspect = call % 2 == 0;
+        return fb;
+    };
+    ScriptedFeedback f1(script), f4(script);
+    AdaptiveAttackerTrace t1(cfg, ad, map1, 5);
+    AdaptiveAttackerTrace t4(cfg, ad, map4, 5);
+    t1.bindFeedback(&f1, 0);
+    t4.bindFeedback(&f4, 0);
+    for (int i = 0; i < 3000; ++i) {
+        TraceRecord r1 = t1.next(), r4 = t4.next();
+        EXPECT_EQ(map1.decode(r1.addr).row, map4.decode(r4.addr).row);
+        EXPECT_EQ(r1.bubbles, r4.bubbles);
+        EXPECT_EQ(r1.uncached, r4.uncached);
+    }
+    EXPECT_EQ(t1.rotation(), t4.rotation());
+    EXPECT_GT(t1.rotation(), 0u);
+}
+
+TEST(AdaptiveTraceTest, HandoffRotatesOwnershipBetweenSlots)
+{
+    AttackerConfig cfg;
+    cfg.rowBase = 128;
+    AdaptiveConfig base;
+    base.groupSize = 2;
+    base.handoffEpoch = 64;
+    AdaptiveConfig s0 = base, s1 = base;
+    s0.slotIndex = 0;
+    s1.slotIndex = 1;
+    AdaptiveAttackerTrace a(cfg, s0, mapper(), 7);
+    AdaptiveAttackerTrace b(cfg, s1, mapper(), 7);
+
+    for (std::uint64_t rec = 0; rec < 4 * 64; ++rec) {
+        bool a_active = (rec / 64) % 2 == 0;
+        EXPECT_EQ(AdaptiveAttackerTrace::slotActiveAt(rec, s0, 0),
+                  a_active);
+        EXPECT_EQ(AdaptiveAttackerTrace::slotActiveAt(rec, s1, 1),
+                  !a_active);
+        TraceRecord ra = a.next(), rb = b.next();
+        // Exactly one slot hammers (uncached); the idle partner emits
+        // benign-looking cached compute.
+        EXPECT_EQ(ra.uncached, a_active);
+        EXPECT_EQ(rb.uncached, !a_active);
+    }
 }
 
 TEST(ProfilerTest, TierOrderingHolds)
