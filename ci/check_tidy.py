@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over src/ and gate on unsuppressed findings.
+
+Usage: check_tidy.py [--build-dir build] [--jobs N] [files...]
+
+Reads the compilation database (CMAKE_EXPORT_COMPILE_COMMANDS=ON) from
+the build directory, runs clang-tidy (checks come from the repo-root
+.clang-tidy) over every src/*.cc entry — or just the files given — and
+compares the findings against ci/tidy_suppressions.json.
+
+A finding is suppressed only by an exact (file, check) row whose
+"reason" explains why it is accepted; anything else fails the job. A
+suppression row that no longer matches any finding is reported as stale
+(non-fatal) so retired rows get cleaned up rather than masking future
+regressions. Stdlib only — no pip dependencies.
+"""
+
+import argparse
+import collections
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SUPPRESSIONS = REPO / "ci" / "tidy_suppressions.json"
+
+# clang-tidy diagnostic: file:line:col: warning: message [check-name]
+_DIAG = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):\d+:\s+"
+    r"(?:warning|error):\s+(?P<message>.*?)\s+\[(?P<check>[\w.,-]+)\]$",
+    re.M)
+
+
+def tidy_binary() -> str:
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15"):
+        if shutil.which(name):
+            return name
+    sys.exit("check_tidy.py: no clang-tidy binary on PATH")
+
+
+def compile_db_files(build_dir: pathlib.Path) -> list[str]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        sys.exit(f"check_tidy.py: {db_path} not found — configure with "
+                 f"CMAKE_EXPORT_COMPILE_COMMANDS=ON")
+    entries = json.loads(db_path.read_text())
+    files = sorted({
+        e["file"] for e in entries
+        if "/src/" in e["file"] and e["file"].endswith(".cc")
+    })
+    if not files:
+        sys.exit("check_tidy.py: compilation database has no src/ entries")
+    return files
+
+
+def run_tidy(binary: str, build_dir: pathlib.Path, files: list[str],
+             jobs: int) -> str:
+    out = []
+    for i in range(0, len(files), jobs):
+        batch = files[i:i + jobs]
+        proc = subprocess.run(
+            [binary, "-p", str(build_dir), "--quiet", *batch],
+            capture_output=True, text=True)
+        out.append(proc.stdout)
+        # clang-tidy exits non-zero on findings; a crash has no
+        # parseable diagnostics and must not pass silently.
+        if proc.returncode != 0 and not _DIAG.search(proc.stdout or ""):
+            sys.stderr.write(proc.stderr)
+            sys.exit(f"check_tidy.py: clang-tidy failed on {batch}")
+    return "\n".join(out)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="files per clang-tidy invocation")
+    parser.add_argument("files", nargs="*")
+    args = parser.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir)
+    files = args.files or compile_db_files(build_dir)
+    output = run_tidy(tidy_binary(), build_dir, files, args.jobs)
+
+    suppressions = json.loads(SUPPRESSIONS.read_text())
+    suppressed_keys = {(s["file"], s["check"]) for s in suppressions}
+    for s in suppressions:
+        if not s.get("reason", "").strip():
+            print(f"check_tidy.py: suppression without a reason: {s}",
+                  file=sys.stderr)
+            return 1
+
+    findings = []
+    used = set()
+    seen = set()
+    for line in output.splitlines():
+        m = _DIAG.match(line.strip())
+        if m is None:
+            continue
+        try:
+            rel = str(pathlib.Path(m.group("file")).resolve()
+                      .relative_to(REPO))
+        except ValueError:
+            continue  # diagnostics from system headers
+        # A diagnostic with several check aliases counts under each.
+        checks = m.group("check").split(",")
+        key_line = (rel, m.group("line"), m.group("check"))
+        if key_line in seen:
+            continue  # header diagnostics repeat per includer
+        seen.add(key_line)
+        if any((rel, c) in suppressed_keys for c in checks):
+            used.update((rel, c) for c in checks
+                        if (rel, c) in suppressed_keys)
+            continue
+        findings.append(
+            f"{rel}:{m.group('line')}: [{m.group('check')}] "
+            f"{m.group('message')}")
+
+    for stale in sorted(suppressed_keys - used):
+        print(f"check_tidy.py: note: stale suppression (no matching "
+              f"finding): {stale[0]} [{stale[1]}]")
+
+    if findings:
+        counts = collections.Counter(
+            f.split("[")[1].split("]")[0] for f in findings)
+        for f in findings:
+            print(f)
+        print(f"check_tidy.py: {len(findings)} unsuppressed finding(s): "
+              + ", ".join(f"{c} x{n}" for c, n in counts.most_common()),
+              file=sys.stderr)
+        return 1
+    print(f"check_tidy.py: clean — {len(files)} file(s), "
+          f"{len(used)} suppression(s) in use")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,9 +129,9 @@ class BreakHammer : public IActionObserver
     void markSuspect(ThreadId thread);
     void endWindow();
 
-    BreakHammerConfig config_;
-    unsigned numThreads;
-    IThrottleTarget *target;
+    BreakHammerConfig config_;  // bh-audit: skip(config_) -- constructor config, keyed by ExperimentConfig
+    unsigned numThreads;        // bh-audit: skip(numThreads) -- constructor config; validates loaded vector sizes
+    IThrottleTarget *target;    // bh-audit: skip(target) -- non-owning wiring installed by System
 
     /** Two time-interleaved score sets; `active` answers queries. */
     std::vector<double> scoreSet[2];

@@ -100,7 +100,7 @@ class Llc
     std::uint64_t setIndex(Addr line_addr) const;
     Addr tagOf(Addr line_addr) const;
 
-    LlcConfig config_;
+    LlcConfig config_;  // bh-audit: skip(config_) -- constructor config, keyed by ExperimentConfig
     std::vector<Set> sets;
     std::uint64_t lruClock = 0;
     std::uint64_t hits_ = 0;

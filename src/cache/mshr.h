@@ -146,7 +146,7 @@ class MshrFile : public IThrottleTarget
         std::vector<MshrWaiter> waiters;
     };
 
-    unsigned numEntries;
+    unsigned numEntries;  // bh-audit: skip(numEntries) -- constructor config, keyed by ExperimentConfig
     std::vector<unsigned> quotas;
     mutable std::vector<unsigned> inflight;
     std::unordered_map<Addr, Entry> entries;

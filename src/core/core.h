@@ -177,11 +177,11 @@ class Core
 
     bool issueOne(Cycle now);
 
-    ThreadId id_;
+    ThreadId id_;         // bh-audit: skip(id_) -- construction identity, fixed for the run
     TraceSource *trace;
-    ICoreMemory *memory;
-    CoreConfig config_;
-    bool benign_;
+    ICoreMemory *memory;  // bh-audit: skip(memory) -- non-owning wiring installed by System
+    CoreConfig config_;   // bh-audit: skip(config_) -- constructor config, keyed by ExperimentConfig
+    bool benign_;         // bh-audit: skip(benign_) -- constructor config (slot role from the mix)
 
     std::vector<WindowEntry> window;
     unsigned head = 0;

@@ -113,7 +113,7 @@ class EnergyAccounting
     }
 
   private:
-    DramEnergy params_;
+    DramEnergy params_;  // bh-audit: skip(params_) -- constructor config, keyed by ExperimentConfig
     std::uint64_t acts_ = 0;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;

@@ -167,7 +167,7 @@ class RowCensus
         actsInWindow = 0;
     }
 
-    Cycle windowLength;
+    Cycle windowLength;  // bh-audit: skip(windowLength) -- constructor config, keyed by ExperimentConfig
     Cycle windowStart = 0;
     std::uint64_t actsInWindow = 0;
     std::unordered_map<std::uint64_t, std::uint32_t> counts;

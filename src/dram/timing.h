@@ -166,7 +166,7 @@ class TimingEngine
                           Cycle now) const;
     void recordAct(RankState &rank, unsigned bank_group, Cycle now);
 
-    DramSpec spec_;
+    DramSpec spec_;  // bh-audit: skip(spec_) -- constructor config, keyed by ExperimentConfig
     std::vector<BankState> banks;
     std::vector<RankState> ranks;
     ChannelBusState bus;

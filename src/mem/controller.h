@@ -138,7 +138,9 @@ class BankedRequestQueue
   private:
     std::vector<std::deque<QueuedRequest>> banks_;
     std::vector<unsigned> active_;
+    // bh-audit: skip(activePos_) -- index over active_, rebuilt in loadState
     std::vector<int> activePos_; ///< Per bank: index into active_, or -1.
+    // bh-audit: skip(size_) -- recomputed from the fifos in loadState
     std::size_t size_ = 0;
     std::uint64_t nextSeq_ = 0;
 };
@@ -223,12 +225,15 @@ class MemoryController : public IMitigationHost
     void fastForwardTo(Cycle to);
 
     /** Fires when read data is fully returned. */
+    // bh-audit: skip(onReadComplete) -- wiring callback installed by System
     std::function<void(const Request &, Cycle)> onReadComplete;
 
     /** Fires on every demand activation: (bank, row, thread, cycle). */
+    // bh-audit: skip(onDemandAct) -- wiring callback installed by System
     std::function<void(unsigned, unsigned, ThreadId, Cycle)> onDemandAct;
 
     /** Fires when a row's victims were refreshed (oracle reset). */
+    // bh-audit: skip(onRowProtected) -- wiring callback installed by System
     std::function<void(unsigned, unsigned)> onRowProtected;
 
     /**
@@ -236,6 +241,7 @@ class MemoryController : public IMitigationHost
      * The per-bank rows [sweep_start, sweep_start + sweep_rows) of the rank
      * were refreshed by this REF.
      */
+    // bh-audit: skip(onPeriodicRefresh) -- wiring callback installed by System
     std::function<void(unsigned, unsigned, unsigned)> onPeriodicRefresh;
 
     void setMitigation(IMitigation *m);
@@ -335,20 +341,23 @@ class MemoryController : public IMitigationHost
     Cycle demandEventCycle(const BankedRequestQueue &queue, bool is_read,
                            Cycle now) const;
 
-    DramSpec spec_;
-    const AddressMap &mapper;
-    McConfig config_;
-    unsigned channel_ = 0;
+    DramSpec spec_;            // bh-audit: skip(spec_) -- constructor config, keyed by ExperimentConfig
+    const AddressMap &mapper;  // bh-audit: skip(mapper) -- non-owning wiring, owned by System
+    McConfig config_;          // bh-audit: skip(config_) -- constructor config, keyed by ExperimentConfig
+    unsigned channel_ = 0;     // bh-audit: skip(channel_) -- construction identity, fixed for the run
     TimingEngine engine_;
 
     BankedRequestQueue readQ;
     BankedRequestQueue writeQ;
     /** Lazily refreshed scan caches, per flat bank (see scanOf()). */
+    // bh-audit: skip(readScan) -- lazy cache, invalidated in loadState
     mutable std::vector<BankScan> readScan;
+    // bh-audit: skip(writeScan) -- lazy cache, invalidated in loadState
     mutable std::vector<BankScan> writeScan;
     bool drainingWrites = false;
 
     std::vector<std::deque<MaintOp>> maintQ; ///< Per flat bank.
+    // bh-audit: skip(maintOpsPending_) -- recomputed from maintQ in loadState
     std::size_t maintOpsPending_ = 0; ///< Total ops across maintQ.
 
     // Read completions in flight.
@@ -367,8 +376,8 @@ class MemoryController : public IMitigationHost
     // older row-conflict request waits.
     std::vector<unsigned> hitStreak;
 
-    IMitigation *mitigation = nullptr;
-    IActionObserver *observer = nullptr;
+    IMitigation *mitigation = nullptr;   // bh-audit: skip(mitigation) -- non-owning wiring installed by System
+    IActionObserver *observer = nullptr; // bh-audit: skip(observer) -- non-owning wiring installed by System
 
     Cycle nextCommandAt = 0;
     Cycle lastSeenCycle = 0;

@@ -39,8 +39,8 @@ class Aqua : public IMitigation
     std::uint64_t migrations() const { return migrations_; }
 
   private:
-    unsigned threshold;
-    Cycle resetPeriod;
+    unsigned threshold;  // bh-audit: skip(threshold) -- constructor config, keyed by ExperimentConfig
+    Cycle resetPeriod;   // bh-audit: skip(resetPeriod) -- constructor config, keyed by ExperimentConfig
     Cycle lastReset = 0;
     std::vector<MisraGries> tables;
     std::uint64_t migrations_ = 0;

@@ -91,7 +91,7 @@ class CountingBloomFilter
     }
 
     std::vector<std::uint32_t> counters;
-    unsigned numHashes;
+    unsigned numHashes;  // bh-audit: skip(numHashes) -- constructor config, keyed by ExperimentConfig
 };
 
 /** BlockHammer mitigation mechanism. */
@@ -144,8 +144,11 @@ class BlockHammer : public IMitigation
         return (static_cast<std::uint64_t>(flat_bank) << 32) | row;
     }
 
+    // bh-audit: skip(nbl) -- constructor config, keyed by ExperimentConfig
     unsigned nbl;    ///< Blacklist threshold (N_RH / 4).
+    // bh-audit: skip(tDelay) -- constructor config, keyed by ExperimentConfig
     Cycle tDelay;    ///< Enforced ACT spacing for blacklisted rows.
+    // bh-audit: skip(epochLength) -- constructor config, keyed by ExperimentConfig
     Cycle epochLength;
     Cycle epochStart = 0;
 
@@ -157,8 +160,10 @@ class BlockHammer : public IMitigation
     std::unordered_map<std::uint64_t, Cycle> lastBlacklistedAct;
 
     // AttackThrottler state.
+    // bh-audit: skip(throttleTarget) -- non-owning wiring installed by System
     IThrottleTarget *throttleTarget = nullptr;
     std::vector<std::uint64_t> threadBlacklistActs;
+    // bh-audit: skip(attackThreshold) -- constructor config, keyed by ExperimentConfig
     unsigned attackThreshold;
     std::uint64_t blacklistedActs_ = 0;
 };

@@ -37,9 +37,9 @@ class Graphene : public IMitigation
     unsigned tableCapacity() const { return capacity; }
 
   private:
-    unsigned threshold;
-    unsigned capacity;
-    Cycle resetPeriod;
+    unsigned threshold;  // bh-audit: skip(threshold) -- constructor config, keyed by ExperimentConfig
+    unsigned capacity;   // bh-audit: skip(capacity) -- constructor config, keyed by ExperimentConfig
+    Cycle resetPeriod;   // bh-audit: skip(resetPeriod) -- constructor config, keyed by ExperimentConfig
     Cycle lastReset = 0;
     std::vector<MisraGries> tables; ///< One per flat bank.
 };

@@ -46,12 +46,12 @@ class Hydra : public IMitigation
     /** Touch the RCC; on miss, charge the DRAM-side RCT access. */
     void rccTouch(std::uint64_t row_key, unsigned flat_bank);
 
-    unsigned rowTh;
-    unsigned groupTh;
-    unsigned rowsPerGroup;
-    unsigned rccCapacity;
-    Cycle rctAccessLatency;
-    Cycle windowLength;
+    unsigned rowTh;          // bh-audit: skip(rowTh) -- constructor config, keyed by ExperimentConfig
+    unsigned groupTh;        // bh-audit: skip(groupTh) -- constructor config, keyed by ExperimentConfig
+    unsigned rowsPerGroup;   // bh-audit: skip(rowsPerGroup) -- constructor config, keyed by ExperimentConfig
+    unsigned rccCapacity;    // bh-audit: skip(rccCapacity) -- constructor config, keyed by ExperimentConfig
+    Cycle rctAccessLatency;  // bh-audit: skip(rctAccessLatency) -- constructor config, keyed by ExperimentConfig
+    Cycle windowLength;      // bh-audit: skip(windowLength) -- constructor config, keyed by ExperimentConfig
     Cycle windowStart = 0;
 
     /** GCT: per-bank vector of group counters. */
@@ -60,6 +60,7 @@ class Hydra : public IMitigation
     std::unordered_map<std::uint64_t, std::uint32_t> rct;
     /** RCC: LRU cache over RCT keys. */
     std::list<std::uint64_t> rccLru;
+    // bh-audit: skip(rccIndex) -- iterator index over rccLru, rebuilt in loadState
     std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
         rccIndex;
 

@@ -134,7 +134,7 @@ class MisraGries
         return false;
     }
 
-    unsigned capacity_;
+    unsigned capacity_;  // bh-audit: skip(capacity_) -- constructor config, keyed by ExperimentConfig
     std::uint64_t offset = 0;
     std::unordered_map<std::uint64_t, std::uint64_t> table;
 };

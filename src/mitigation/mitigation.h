@@ -210,6 +210,7 @@ class IMitigation
     void setHost(IMitigationHost *h) { host = h; }
 
   protected:
+    // bh-audit: skip(host) -- non-owning back-pointer installed by System
     IMitigationHost *host = nullptr;
 };
 

@@ -41,7 +41,7 @@ class Para : public IMitigation
     static double deriveProbability(unsigned n_rh, double fail_probability);
 
   private:
-    double p;
+    double p;  // bh-audit: skip(p) -- constructor config, keyed by ExperimentConfig
     Rng rng;
 };
 

@@ -47,11 +47,11 @@ class Prac : public IMitigation
     std::uint64_t alerts() const { return alerts_; }
 
   private:
-    unsigned alertTh;
-    unsigned aboRfms;
+    unsigned alertTh;  // bh-audit: skip(alertTh) -- constructor config, keyed by ExperimentConfig
+    unsigned aboRfms;  // bh-audit: skip(aboRfms) -- constructor config, keyed by ExperimentConfig
     std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> rowCounts;
-    unsigned banksPerRank;
-    unsigned rowsPerBank;
+    unsigned banksPerRank;  // bh-audit: skip(banksPerRank) -- constructor config, keyed by ExperimentConfig
+    unsigned rowsPerBank;   // bh-audit: skip(rowsPerBank) -- constructor config, keyed by ExperimentConfig
     std::uint64_t alerts_ = 0;
 };
 

@@ -40,6 +40,7 @@ class Rega : public IMitigation
     unsigned scorePeriod() const { return regaT; }
 
   private:
+    // bh-audit: skip(regaT) -- constructor config, keyed by ExperimentConfig
     unsigned regaT; ///< Activations per attributed score point.
     std::vector<std::uint64_t> threadActs;
 };

@@ -42,13 +42,15 @@ class Rfm : public IMitigation
     unsigned serviceThreshold() const { return serviceTh; }
 
   private:
+    // bh-audit: skip(raaimt_) -- constructor config, keyed by ExperimentConfig
     unsigned raaimt_;   ///< RAA Initial Management Threshold.
+    // bh-audit: skip(serviceTh) -- constructor config, keyed by ExperimentConfig
     unsigned serviceTh; ///< DRAM-side per-row service threshold.
     std::vector<unsigned> raa; ///< Per-bank rolling activation counter.
     /** DRAM-side per-row activation counters, one map per bank. */
     std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> rowCounts;
-    unsigned banksPerRank;
-    unsigned rowsPerBank;
+    unsigned banksPerRank;  // bh-audit: skip(banksPerRank) -- constructor config, keyed by ExperimentConfig
+    unsigned rowsPerBank;   // bh-audit: skip(rowsPerBank) -- constructor config, keyed by ExperimentConfig
 };
 
 } // namespace bh

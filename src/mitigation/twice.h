@@ -51,11 +51,13 @@ class Twice : public IMitigation
         std::uint32_t life = 0; ///< Age in pruning periods.
     };
 
-    unsigned threshold;
+    unsigned threshold;  // bh-audit: skip(threshold) -- constructor config, keyed by ExperimentConfig
+    // bh-audit: skip(pruneRate) -- constructor config, keyed by ExperimentConfig
     double pruneRate; ///< Minimum ACTs per period to stay tracked.
+    // bh-audit: skip(refsPerPrune) -- constructor config, keyed by ExperimentConfig
     unsigned refsPerPrune;
     unsigned refsSeen = 0;
-    Cycle windowLength;
+    Cycle windowLength;  // bh-audit: skip(windowLength) -- constructor config, keyed by ExperimentConfig
     Cycle windowStart = 0;
     std::vector<std::unordered_map<std::uint32_t, Entry>> tables;
 };

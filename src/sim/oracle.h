@@ -106,8 +106,8 @@ class HammerOracle
         return (static_cast<std::uint64_t>(flat_bank) << 32) | row;
     }
 
-    DramOrg org_;
-    unsigned nRh;
+    DramOrg org_;  // bh-audit: skip(org_) -- constructor config, keyed by ExperimentConfig
+    unsigned nRh;  // bh-audit: skip(nRh) -- constructor config, keyed by ExperimentConfig
     std::unordered_map<std::uint64_t, std::uint32_t> counts;
     std::uint64_t violations_ = 0;
     std::uint32_t maxCount_ = 0;

@@ -401,7 +401,9 @@ class System : public ICoreMemory, public IThrottleFeedbackView
     /** Worst-case writeback room: write space on every channel. */
     bool allChannelsHaveWriteRoom() const;
 
+    // bh-audit: skip(config_) -- constructor config; loadState validates it against the stream
     SystemConfig config_;
+    // bh-audit: skip(mapper) -- derived from config_.spec at construction
     AddressMap mapper;
     /** One controller per channel, index == channel id. Mitigation,
      *  oracle, and census instances pair with controllers one-to-one
@@ -416,8 +418,10 @@ class System : public ICoreMemory, public IThrottleFeedbackView
     std::vector<std::unique_ptr<HammerOracle>> oracles;
     std::vector<std::unique_ptr<RowCensus>> censuses;
 
+    // bh-audit: skip(traces) -- each trace is serialized by its Core (Core::saveState)
     std::vector<std::unique_ptr<TraceSource>> traces;
     std::vector<std::unique_ptr<Core>> cores;
+    // bh-audit: skip(benignSlot) -- derived from the workload mix at construction
     std::vector<bool> benignSlot;
 
     /**
@@ -442,20 +446,23 @@ class System : public ICoreMemory, public IThrottleFeedbackView
     /** Persistent snapshot buffers for the skip loop (no per-tick
      *  allocation; only filled while some core is reject-blocked). */
     RejectSnapshot prevSnap;
-    RejectSnapshot curSnap;
+    RejectSnapshot curSnap;  // bh-audit: skip(curSnap) -- scratch buffer refilled every comparison
 
     Cycle now = 0;
 
     /** Checkpoint settings; inactive while path is empty. */
+    // bh-audit: skip(checkpoint_) -- host-side harness setting, not simulation state
     CheckpointConfig checkpoint_;
 
     /**
      * Set by resumeFromSnapshot(): the next run() continues from the
      * restored `now`/prevSnap instead of starting at cycle 0.
      */
+    // bh-audit: skip(resumePending_) -- transient resume latch, consumed by the next run()
     bool resumePending_ = false;
 
     /** Slots the constructor received (config fingerprint input). */
+    // bh-audit: skip(slots_) -- constructor config, keyed by ExperimentConfig
     std::vector<WorkloadSlot> slots_;
 };
 

@@ -26,6 +26,7 @@ nowMs()
 {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
+            // bh-audit: skip(clock) -- lease wall-clock, outside the deterministic core
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
 }
@@ -69,10 +70,10 @@ promLabel(const std::string &s)
 
 } // namespace
 
-SweepCoordinator::SweepCoordinator(CoordinatorOptions options,
-                                   ResultStore *store,
+SweepCoordinator::SweepCoordinator(CoordinatorOptions opts,
+                                   ResultStore *result_store,
                                    const std::vector<ExperimentConfig> &grid)
-    : options(options), store(store)
+    : options(std::move(opts)), store(result_store)
 {
     // Content-address dedup happens here, once: two figures sweeping the
     // same point become one leasable unit, exactly as they become one

@@ -26,6 +26,7 @@ nowMs()
 {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
+            // bh-audit: skip(clock) -- lease wall-clock, outside the deterministic core
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
 }
@@ -49,7 +50,7 @@ workerSinkOwner()
 
 } // namespace
 
-SweepWorker::SweepWorker(WorkerOptions options) : options(options)
+SweepWorker::SweepWorker(WorkerOptions opts) : options(std::move(opts))
 {
     if (this->options.jobs == 0)
         this->options.jobs = 1;

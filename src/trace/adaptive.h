@@ -115,18 +115,23 @@ class AdaptiveAttackerTrace : public TraceSource
     bool activeNow() const;
     unsigned rotatedRow(unsigned base_row) const;
 
-    AttackerConfig attack_;
-    AdaptiveConfig adaptive_;
-    const AddressMap &mapper;
+    AttackerConfig attack_;    // bh-audit: skip(attack_) -- constructor config, keyed by ExperimentConfig
+    AdaptiveConfig adaptive_;  // bh-audit: skip(adaptive_) -- constructor config, keyed by ExperimentConfig
+    const AddressMap &mapper;  // bh-audit: skip(mapper) -- non-owning wiring, owned by System
     Rng rng;
-    std::string name_ = "adaptive_attacker";
+    std::string name_ = "adaptive_attacker";  // bh-audit: skip(name_) -- construction identity, fixed for the run
 
+    // bh-audit: skip(feedback) -- non-owning wiring installed by System
     const IThrottleFeedbackView *feedback = nullptr;
-    ThreadId self_ = 0;
+    ThreadId self_ = 0;  // bh-audit: skip(self_) -- construction identity, fixed for the run
 
+    // bh-audit: skip(seq) -- derived from attack_ at construction
     std::vector<unsigned> seq;           ///< Base row visit sequence.
+    // bh-audit: skip(bankCoords) -- derived from attack_ at construction
     std::vector<DramAddress> bankCoords; ///< One template per bank.
+    // bh-audit: skip(stride) -- derived from config at construction
     unsigned stride = 0;                 ///< Effective rotation stride.
+    // bh-audit: skip(idleRow) -- derived from config at construction
     unsigned idleRow = 0;                ///< Cached idle-phase row.
 
     // --- Mutable adaptation state (all serialized) ---

@@ -110,16 +110,19 @@ class AttackerTrace : public TraceSource
     unsigned attackedBanks() const { return numBanks_; }
 
   private:
-    AttackerConfig config_;
-    const AddressMap &mapper;
+    AttackerConfig config_;    // bh-audit: skip(config_) -- constructor config, keyed by ExperimentConfig
+    const AddressMap &mapper;  // bh-audit: skip(mapper) -- non-owning wiring, owned by System
     Rng rng;
-    std::string name_ = "hammer_attacker";
+    std::string name_ = "hammer_attacker";  // bh-audit: skip(name_) -- construction identity, fixed for the run
+    // bh-audit: skip(rows) -- derived from config_ at construction
     std::vector<unsigned> rows; ///< Unique aggressor rows (introspection).
+    // bh-audit: skip(seq) -- derived from config_ at construction
     std::vector<unsigned> seq;  ///< Row visit sequence (one period).
+    // bh-audit: skip(bankCoords) -- derived from config_ at construction
     std::vector<DramAddress> bankCoords; ///< One template per bank.
     unsigned bankCursor = 0;
     unsigned rowCursor = 0;
-    unsigned numBanks_ = 0;
+    unsigned numBanks_ = 0;  // bh-audit: skip(numBanks_) -- derived from config_ at construction
 };
 
 /**

@@ -84,14 +84,16 @@ class BenignTrace : public TraceSource
     Addr encode(const RowRef &ref, unsigned column) const;
     RowRef randomRow();
 
-    AppProfile profile_;
-    const AddressMap &mapper;
-    unsigned rowBase;
+    AppProfile profile_;       // bh-audit: skip(profile_) -- constructor config, keyed by ExperimentConfig
+    const AddressMap &mapper;  // bh-audit: skip(mapper) -- non-owning wiring, owned by System
+    unsigned rowBase;          // bh-audit: skip(rowBase) -- constructor config (per-slot row partition)
+    // bh-audit: skip(rowSpan) -- derived from profile_ at construction
     unsigned rowSpan; ///< Rows per bank actually used (working-set bound).
     Rng rng;
 
     RowRef seqPos;        ///< Current sequential stream position.
     unsigned seqColumn = 0;
+    // bh-audit: skip(hotRowRefs) -- rebuilt identically by the seeded constructor
     std::vector<RowRef> hotRowRefs;
 };
 

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Runs the static invariant audit (tools/bh_audit) as part of the test
+ * suite. Two gates:
+ *
+ * - Selftest: the tool's fixture trees pin every pass — the clean
+ *   fixture must stay silent and each injected violation (unserialized
+ *   snapshot member, config field missing from the key/codec, hash-map
+ *   iteration on an ordered-output path, non-const probe override,
+ *   malformed skip annotation) must be caught. This is the regression
+ *   test for the scanner itself.
+ * - CleanTree: the real src/ tree must audit clean. A finding here
+ *   means a change broke one of the structural invariants (or needs a
+ *   reasoned `bh-audit: skip` annotation).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#ifndef BH_REPO_ROOT
+#error "BH_REPO_ROOT must point at the repository checkout"
+#endif
+
+namespace {
+
+int
+runTool(const std::string &args)
+{
+    std::string cmd = "python3 \"" BH_REPO_ROOT "/tools/bh_audit\" " + args;
+    int rc = std::system(cmd.c_str());
+    return rc;
+}
+
+} // namespace
+
+TEST(Audit, SelftestCatchesEveryInjectedViolation)
+{
+    EXPECT_EQ(runTool("--selftest"), 0);
+}
+
+TEST(Audit, SourceTreeAuditsClean)
+{
+    EXPECT_EQ(runTool("--root \"" BH_REPO_ROOT "\""), 0);
+}

@@ -1,0 +1,506 @@
+"""Lightweight structural model of the repo's C++ sources.
+
+This is not a compiler front end: the audit passes need exactly three
+structural facts — which data members a class declares, where a handful
+of named function bodies are, and which tokens those bodies reference.
+The codebase's house style (one class per header, clang-format layout,
+no macros generating members) makes a line-oriented scanner reliable for
+that, and `bh_audit --selftest` pins the scanner against fixture files
+so a silent parsing regression fails CI rather than silently passing
+everything.
+
+Skip annotations
+----------------
+A finding can be suppressed only with an explicit, reasoned annotation::
+
+    // bh-audit: skip(<what>) -- <reason>
+
+`<what>` names the member / field / rule being excused and `<reason>`
+must be non-empty; a malformed annotation (missing reason, unparsable
+form) is itself reported as a finding. The annotation binds to its own
+line and the next code line, so it can sit above a declaration or at the
+end of one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SKIP_RE = re.compile(
+    r"//\s*bh-audit:\s*skip\(([^)]*)\)\s*(?:--\s*(.*\S))?\s*$")
+SKIP_MENTION_RE = re.compile(r"//\s*bh-audit:")
+
+# Class-scope statements that never declare an instance data member.
+_NON_MEMBER_KEYWORDS = (
+    "using", "typedef", "friend", "template", "static_assert", "static",
+    "enum", "public", "private", "protected", "explicit", "virtual",
+    "operator", "return",
+)
+
+_IDENT = r"[A-Za-z_]\w*"
+
+
+@dataclass
+class SkipAnnotation:
+    what: str
+    reason: str
+    line: int  # 1-based line of the annotation comment
+    malformed: bool = False
+
+
+@dataclass
+class Member:
+    name: str
+    line: int
+    type_text: str
+    is_static: bool = False
+    is_mutable: bool = False
+
+
+@dataclass
+class Method:
+    name: str
+    line: int
+    is_const: bool
+    decl_text: str
+
+
+@dataclass
+class CxxClass:
+    name: str
+    file: Path
+    line: int
+    body_start: int  # offset of '{' in stripped text
+    body_end: int    # offset of matching '}'
+    members: list[Member] = field(default_factory=list)
+    methods: list[Method] = field(default_factory=list)
+
+    def member_names(self) -> list[str]:
+        return [m.name for m in self.members]
+
+
+@dataclass
+class FunctionBody:
+    name: str
+    cls: str | None
+    file: Path
+    line: int
+    decl_text: str   # everything from the name to the opening brace
+    body_text: str   # stripped code between the braces
+    start: int       # offset of '{' in the stripped file text
+    end: int         # offset of matching '}'
+
+    def is_const(self) -> bool:
+        return re.search(r"\)\s*const\b", self.decl_text) is not None
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literal contents, preserving
+    every line break and column so offsets map 1:1 to the original."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = out[i + 1] = " "
+                    i += 2
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def match_brace(text: str, open_pos: int) -> int:
+    """Offset of the '}' matching the '{' at *open_pos* (-1 if none).
+    *text* must already be comment/string-stripped."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+class SourceFile:
+    """One parsed C++ source or header."""
+
+    def __init__(self, path: Path, text: str | None = None):
+        self.path = path
+        self.text = text if text is not None else path.read_text()
+        self.stripped = strip_comments_and_strings(self.text)
+        self.lines = self.text.splitlines()
+        self.skips: list[SkipAnnotation] = self._parse_skips()
+        self._classes: list[CxxClass] | None = None
+
+    # ---------------------------------------------------------- helpers
+
+    def line_of(self, offset: int) -> int:
+        return self.text.count("\n", 0, offset) + 1
+
+    def _parse_skips(self) -> list[SkipAnnotation]:
+        skips = []
+        for lineno, line in enumerate(self.lines, start=1):
+            if not SKIP_MENTION_RE.search(line):
+                continue
+            m = SKIP_RE.search(line)
+            if m is None or not m.group(1).strip() or m.group(2) is None:
+                what = m.group(1).strip() if m else ""
+                skips.append(SkipAnnotation(what, "", lineno,
+                                            malformed=True))
+                continue
+            skips.append(SkipAnnotation(m.group(1).strip(),
+                                        m.group(2).strip(), lineno))
+        return skips
+
+    def skip_for(self, what: str, line: int | None = None,
+                 line_range: tuple[int, int] | None = None) \
+            -> SkipAnnotation | None:
+        """A well-formed skip(what) bound to *line* (same or previous
+        line) or anywhere within *line_range* (inclusive)."""
+        for s in self.skips:
+            if s.malformed or s.what != what:
+                continue
+            if line is not None and s.line in (line, line - 1):
+                return s
+            if line_range is not None and \
+                    line_range[0] <= s.line <= line_range[1]:
+                return s
+        return None
+
+    # ---------------------------------------------------------- classes
+
+    def classes(self) -> list[CxxClass]:
+        if self._classes is None:
+            self._classes = self._parse_classes()
+        return self._classes
+
+    def _parse_classes(self) -> list[CxxClass]:
+        found: list[CxxClass] = []
+        for m in re.finditer(
+                r"\b(class|struct)\s+(" + _IDENT + r")"
+                r"(?:\s*final)?(?:\s*:\s*[^;{]*)?\s*\{",
+                self.stripped):
+            if re.search(r"enum\s+$", self.stripped[: m.start()]):
+                continue
+            open_pos = m.end() - 1
+            close = match_brace(self.stripped, open_pos)
+            if close < 0:
+                continue
+            cls = CxxClass(name=m.group(2), file=self.path,
+                           line=self.line_of(m.start()),
+                           body_start=open_pos, body_end=close)
+            self._parse_class_body(cls)
+            found.append(cls)
+        return found
+
+    def get_class(self, name: str) -> CxxClass | None:
+        for c in self.classes():
+            if c.name == name:
+                return c
+        return None
+
+    def _parse_class_body(self, cls: CxxClass) -> None:
+        """Walk the class body's top-level statements, collecting
+        instance data members and method declarations."""
+        body = self.stripped
+        i = cls.body_start + 1
+        stmt_start = i
+        while i < cls.body_end:
+            c = body[i]
+            if c == "{":
+                stmt = body[stmt_start:i]
+                close = match_brace(body, i)
+                if close < 0:
+                    return
+                if self._is_function_header(stmt):
+                    self._record_method(cls, stmt, stmt_start)
+                    i = close + 1
+                    # Skip an optional trailing ';'
+                    while i < cls.body_end and body[i] in " \t\n;":
+                        i += 1
+                    stmt_start = i
+                    continue
+                if re.match(r"\s*(class|struct|enum|union)\b", stmt):
+                    # Nested type: not a member of the enclosing class
+                    # (a declarator after the closing brace would be,
+                    # but the codebase never uses that form).
+                    i = close + 1
+                    while i < cls.body_end and body[i] in " \t\n;":
+                        i += 1
+                    stmt_start = i
+                    continue
+                # Braced initializer of a member: keep scanning to ';'.
+                i = close + 1
+                continue
+            if c == ";":
+                self._classify_statement(cls, body[stmt_start:i],
+                                         stmt_start)
+                i += 1
+                stmt_start = i
+                continue
+            if c == ":" and re.search(
+                    r"\b(public|private|protected)\s*$",
+                    body[stmt_start:i]):
+                i += 1
+                stmt_start = i
+                continue
+            i += 1
+
+    @staticmethod
+    def _top_level_paren(stmt: str) -> int:
+        """Offset of the first '(' outside angle brackets (else -1)."""
+        angle = 0
+        for i, ch in enumerate(stmt):
+            if ch == "<":
+                angle += 1
+            elif ch == ">":
+                angle = max(0, angle - 1)
+            elif ch == "(" and angle == 0:
+                return i
+        return -1
+
+    @classmethod
+    def _is_function_header(cls, stmt: str) -> bool:
+        p = cls._top_level_paren(stmt)
+        if p < 0:
+            return False
+        eq = stmt.find("=")
+        return eq < 0 or p < eq
+
+    def _record_method(self, cls: CxxClass, stmt: str,
+                       stmt_start: int) -> None:
+        p = self._top_level_paren(stmt)
+        before = stmt[:p].strip()
+        m = re.search(r"(" + _IDENT + r")\s*$", before)
+        if m is None:
+            return
+        is_const = re.search(r"\)\s*(?:const)\b", stmt[p:]) is not None
+        cls.methods.append(Method(m.group(1),
+                                  self.line_of(stmt_start + p),
+                                  is_const, stmt.strip()))
+
+    def _classify_statement(self, cls: CxxClass, stmt: str,
+                            stmt_start: int) -> None:
+        text = stmt.strip()
+        if not text:
+            return
+        # Drop access labels glued to the front of a statement.
+        text = re.sub(r"^(?:(?:public|private|protected)\s*:\s*)+", "",
+                      text)
+        if not text:
+            return
+        first = re.match(r"(" + _IDENT + r")", text)
+        if first and first.group(1) in _NON_MEMBER_KEYWORDS:
+            if first.group(1) == "static":
+                return  # static members are not instance state
+            if first.group(1) not in ("mutable",):
+                return
+        if self._is_function_header(text):
+            self._record_method(cls, text, stmt_start)
+            return
+        is_mutable = text.startswith("mutable ")
+        if is_mutable:
+            text = text[len("mutable "):]
+        # Split multi-declarator statements on top-level commas.
+        for chunk in _split_top_level(text, ","):
+            m = re.search(
+                r"(" + _IDENT + r")\s*(?:\[[^\]]*\]\s*)?"
+                r"(?:=[^;]*|\{[^;]*\})?$", chunk.strip())
+            if m is None:
+                continue
+            name = m.group(1)
+            if name in _NON_MEMBER_KEYWORDS or name == "nullptr":
+                continue
+            type_text = chunk[: m.start(1)].strip()
+            if not type_text and chunk is not text:
+                type_text = ""  # later declarators share the first type
+            cls.members.append(Member(
+                name=name,
+                line=self.line_of(stmt_start + stmt.find(name)),
+                type_text=type_text,
+                is_mutable=is_mutable))
+
+    # -------------------------------------------------------- functions
+
+    def find_functions(self, name: str,
+                       cls: str | None = None) -> list[FunctionBody]:
+        """Every definition of *name* in this file (out-of-line
+        `Class::name(...) {` and in-class `name(...) {` forms). When
+        *cls* is given, out-of-line definitions must carry that
+        qualifier and in-class ones must sit inside that class's body."""
+        results = []
+        pattern = re.compile(
+            r"(?:(" + _IDENT + r")\s*::\s*)?\b" + re.escape(name) +
+            r"\s*\(")
+        for m in pattern.finditer(self.stripped):
+            qualifier = m.group(1)
+            close_paren = _match_paren(self.stripped, m.end() - 1)
+            if close_paren < 0:
+                continue
+            after = self.stripped[close_paren + 1:close_paren + 120]
+            bm = re.match(
+                r"\s*(?:const)?\s*(?:noexcept)?\s*(?:override)?"
+                r"\s*(?:final)?\s*\{", after)
+            if bm is None:
+                continue
+            open_pos = close_paren + 1 + bm.end() - 1
+            close = match_brace(self.stripped, open_pos)
+            if close < 0:
+                continue
+            owner = qualifier
+            if owner is None:
+                for c in self.classes():
+                    if c.body_start < m.start() < c.body_end:
+                        owner = c.name
+                        break
+            if cls is not None and owner != cls:
+                continue
+            results.append(FunctionBody(
+                name=name, cls=owner, file=self.path,
+                line=self.line_of(m.start()),
+                decl_text=self.stripped[m.start():open_pos],
+                body_text=self.stripped[open_pos + 1:close],
+                start=open_pos, end=close))
+        return results
+
+    def all_function_bodies(self) -> list[FunctionBody]:
+        """Every function definition in the file, found by scanning for
+        `(...) ... {` shapes. Used by the determinism pass to attribute
+        a loop to its enclosing function."""
+        results = []
+        for m in re.finditer(r"\b(" + _IDENT + r")\s*\(", self.stripped):
+            name = m.group(1)
+            if name in ("if", "while", "for", "switch", "return",
+                        "sizeof", "catch", "static_assert", "alignof",
+                        "decltype", "defined"):
+                continue
+            close_paren = _match_paren(self.stripped, m.end() - 1)
+            if close_paren < 0:
+                continue
+            after = self.stripped[close_paren + 1:close_paren + 120]
+            bm = re.match(
+                r"\s*(?:const)?\s*(?:noexcept)?\s*(?:override)?"
+                r"\s*(?:final)?\s*(?:->\s*[\w:<>,\s&*]+?)?\s*\{", after)
+            if bm is None:
+                continue
+            open_pos = close_paren + 1 + bm.end() - 1
+            close = match_brace(self.stripped, open_pos)
+            if close < 0:
+                continue
+            results.append(FunctionBody(
+                name=name, cls=None, file=self.path,
+                line=self.line_of(m.start()),
+                decl_text=self.stripped[m.start():open_pos],
+                body_text=self.stripped[open_pos + 1:close],
+                start=open_pos, end=close))
+        return results
+
+
+def _match_paren(text: str, open_pos: int) -> int:
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _split_top_level(text: str, sep: str) -> list[str]:
+    parts, depth_a, depth_p, depth_b, start = [], 0, 0, 0, 0
+    for i, ch in enumerate(text):
+        if ch == "<":
+            depth_a += 1
+        elif ch == ">":
+            depth_a = max(0, depth_a - 1)
+        elif ch == "(":
+            depth_p += 1
+        elif ch == ")":
+            depth_p -= 1
+        elif ch == "{":
+            depth_b += 1
+        elif ch == "}":
+            depth_b -= 1
+        elif ch == sep and depth_a == depth_p == depth_b == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return parts
+
+
+def token_in(token: str, text: str) -> bool:
+    return re.search(r"\b" + re.escape(token) + r"\b", text) is not None
+
+
+class SourceTree:
+    """All .h/.cc files under a root's src/ directory, parsed lazily."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.src = self.root / "src"
+        self._files: dict[Path, SourceFile] = {}
+
+    def paths(self) -> list[Path]:
+        return sorted(p for p in self.src.rglob("*")
+                      if p.suffix in (".h", ".cc"))
+
+    def file(self, path: Path) -> SourceFile:
+        path = Path(path)
+        if path not in self._files:
+            self._files[path] = SourceFile(path)
+        return self._files[path]
+
+    def files(self) -> list[SourceFile]:
+        return [self.file(p) for p in self.paths()]
+
+    def paired_source(self, header: Path) -> SourceFile | None:
+        cc = header.with_suffix(".cc")
+        return self.file(cc) if cc.exists() else None
+
+    def paired_header(self, source: Path) -> SourceFile | None:
+        h = source.with_suffix(".h")
+        return self.file(h) if h.exists() else None
+
+    def find_functions(self, name: str,
+                       cls: str | None = None) -> list[FunctionBody]:
+        out = []
+        for f in self.files():
+            out.extend(f.find_functions(name, cls))
+        return out
+
+    def rel(self, path: Path) -> str:
+        try:
+            return str(Path(path).relative_to(self.root))
+        except ValueError:
+            return str(path)

@@ -1,0 +1,21 @@
+// Fixture: a probe override that honors the purity contract — const,
+// no member writes, no non-const calls.
+#pragma once
+
+namespace bh {
+
+class CalmMitigation {
+  public:
+    Cycle probeActReleaseCycle(unsigned bank, Cycle now) const override
+    {
+        (void)bank;
+        return releaseAt > now ? releaseAt : now;
+    }
+
+    void onAct(Cycle now) { releaseAt = now + 1; }
+
+  private:
+    Cycle releaseAt = 0;
+};
+
+} // namespace bh

@@ -1,0 +1,21 @@
+#include "sim/experiment.h"
+
+#include <string>
+
+namespace bh {
+
+std::string
+experimentKey(const ExperimentConfig &config)
+{
+    return "nrh=" + std::to_string(config.nRh) +
+           "|seed=" + std::to_string(config.seed);
+}
+
+ExperimentConfig
+resolveExperimentConfig(const ExperimentConfig &config)
+{
+    ExperimentConfig resolved = config;
+    return resolved;
+}
+
+} // namespace bh

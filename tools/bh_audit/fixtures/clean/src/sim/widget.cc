@@ -1,0 +1,17 @@
+#include "sim/widget.h"
+
+namespace bh {
+
+void
+Widget::saveState(StateWriter &w) const
+{
+    w.u64(counter);
+}
+
+void
+Widget::loadState(StateReader &r)
+{
+    counter = static_cast<unsigned>(r.u64());
+}
+
+} // namespace bh

@@ -1,0 +1,17 @@
+// Fixture: fully covered snapshot class — every member is serialized
+// or carries a reasoned skip. The selftest requires zero findings.
+#pragma once
+
+namespace bh {
+
+class Widget {
+  public:
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
+  private:
+    unsigned counter = 0;
+    unsigned capacity;  // bh-audit: skip(capacity) -- constructor config
+};
+
+} // namespace bh

@@ -1,0 +1,23 @@
+#include "sim/experiment.h"
+
+namespace bh {
+
+JsonValue
+experimentConfigToJson(const ExperimentConfig &config)
+{
+    JsonValue j;
+    j.set("nRh", config.nRh);
+    j.set("seed", config.seed);
+    return j;
+}
+
+ExperimentConfig
+experimentConfigFromJson(const JsonValue &j)
+{
+    ExperimentConfig config;
+    config.nRh = j.getUnsigned("nRh");
+    config.seed = j.getU64("seed");
+    return config;
+}
+
+} // namespace bh

@@ -1,0 +1,21 @@
+// Fixture: a probe override that is not const and counts its own
+// invocations — N probes + commit would diverge from 1 probe + commit.
+#pragma once
+
+namespace bh {
+
+class EagerMitigation {
+  public:
+    Cycle probeActReleaseCycle(unsigned bank, Cycle now) override
+    {
+        (void)bank;
+        probes_++;
+        return now;
+    }
+
+  private:
+    Cycle releaseAt = 0;
+    std::uint64_t probes_ = 0;
+};
+
+} // namespace bh

@@ -1,0 +1,17 @@
+// Fixture: `stealthFactor` is injected — it reaches neither
+// experimentKey()/resolveExperimentConfig() nor either protocol codec
+// direction. The selftest requires the key-coverage pass to flag it
+// three times (key, encode, decode).
+#pragma once
+
+#include <cstdint>
+
+namespace bh {
+
+struct ExperimentConfig {
+    unsigned nRh = 1000;
+    std::uint64_t seed = 1;
+    unsigned stealthFactor = 0;
+};
+
+} // namespace bh

@@ -1,0 +1,22 @@
+// Fixture: a StateWriter path that range-fors a hash container —
+// byte output would depend on implementation-defined iteration order.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace bh {
+
+class Exporter {
+  public:
+    void saveState(StateWriter &w) const
+    {
+        for (const auto &kv : table)
+            w.u64(kv.second);
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> table;
+};
+
+} // namespace bh

@@ -1,0 +1,28 @@
+#include "sim/widget.h"
+
+#include <chrono>
+
+namespace bh {
+
+void
+Widget::saveState(StateWriter &w) const
+{
+    w.u64(counter);
+}
+
+void
+Widget::loadState(StateReader &r)
+{
+    counter = static_cast<unsigned>(r.u64());
+}
+
+std::uint64_t
+tickMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace bh

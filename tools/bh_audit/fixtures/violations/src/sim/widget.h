@@ -1,0 +1,20 @@
+// Fixture: `missed` is declared but never serialized (the classic
+// added-a-field-forgot-the-snapshot bug); `tuned` carries a skip
+// annotation with no reason, which must itself be reported and must
+// NOT suppress the coverage finding.
+#pragma once
+
+namespace bh {
+
+class Widget {
+  public:
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
+  private:
+    unsigned counter = 0;
+    unsigned missed = 0;
+    unsigned tuned = 0;  // bh-audit: skip(tuned)
+};
+
+} // namespace bh

@@ -1,0 +1,151 @@
+"""Pass 3 — determinism lint.
+
+Every headline property of the repo (byte-identical warm runs, kill/
+resume equality, job-count and tick-mode invariance) assumes the
+simulation and its serialized outputs are pure functions of the config.
+This pass bans the constructs that silently break that:
+
+- ``rand()`` / ``srand()`` / ``random()``: hidden global RNG state
+  (the codebase threads explicit ``SplitMix64`` streams instead);
+- ``time()`` / ``std::chrono::*_clock::now()``: wall-clock input;
+- ``getenv()`` outside ``src/common/env.h``: environment reads must go
+  through the env.h helpers so resolveExperimentConfig() can fold them
+  into the content address (a stray getenv is exactly the store-aliasing
+  bug class PR 3 documents);
+- iteration over ``std::unordered_map`` / ``std::unordered_set`` inside
+  any function that feeds an ordered output (a StateWriter, the JSON
+  export, a wire frame): hash-table iteration order is
+  implementation-defined, so bytes would differ across
+  libraries/restarts. The snapshot codec's saveUnorderedMap() is the
+  one sanctioned path — it records and reconstructs the order;
+- ``std::map`` / ``std::set`` keyed by pointers: address-dependent
+  ordering differs run to run.
+
+Wall-clock use that is deliberately outside the deterministic core (the
+sweep service's lease deadlines) is annotated in place::
+
+    steadyNowMs(); // bh-audit: skip(clock) -- lease wall-clock, not sim
+
+Rule names for skip(): rand, time, clock, getenv, unordered-iter,
+pointer-key.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from cxx import SourceTree, SourceFile
+from report import Report
+
+CHECK = "determinism"
+
+ENV_HEADER = Path("src/common/env.h")
+
+_BANNED = (
+    ("rand", re.compile(r"\b(?:s?rand|random)\s*\(")),
+    ("time", re.compile(r"\btime\s*\(")),
+    ("clock", re.compile(r"\b\w*_clock\s*::\s*now\s*\(")),
+)
+_GETENV = re.compile(r"\bgetenv\s*\(")
+
+# The lookbehind keeps vector<unordered_map<...>> from counting: only a
+# declaration whose *outermost* type is the hash container makes its
+# range-for order-sensitive (element maps go through saveUnorderedMap).
+_UNORDERED_DECL = re.compile(
+    r"(?<![<,])\bstd\s*::\s*unordered_(?:map|set)\s*<[^;{]*?>\s*&?\s*"
+    r"([A-Za-z_]\w*)\s*[;={(,)]")
+_RANGE_FOR = re.compile(
+    r"\bfor\s*\(\s*[^;:()]*?:\s*([A-Za-z_][\w.\->]*)\s*\)")
+_POINTER_KEY = re.compile(
+    r"std\s*::\s*(?:map|set)\s*<\s*[^,>]*\*")
+
+# A function participates in an ordered-output path when its body or
+# signature touches one of these.
+_ORDERED_MARKERS = ("StateWriter", "JsonValue", "encodeFrame",
+                    "appendFrame", "Frame")
+
+
+def _flag(report: Report, tree: SourceTree, sf: SourceFile, rule: str,
+          offset: int, symbol: str, message: str) -> None:
+    line = sf.line_of(offset)
+    skip = sf.skip_for(rule, line=line)
+    rel = tree.rel(sf.path)
+    if skip is not None:
+        report.note_skip(CHECK, rel, skip.line, rule, skip.reason)
+        return
+    report.add(CHECK, rule, rel, line, symbol, message)
+
+
+def _unordered_names(sf: SourceFile, paired: SourceFile | None) -> set:
+    names = set()
+    for source in (sf, paired):
+        if source is None:
+            continue
+        for m in _UNORDERED_DECL.finditer(source.stripped):
+            names.add(m.group(1))
+    return names
+
+
+def run(tree: SourceTree, report: Report) -> None:
+    files_checked = 0
+    for path in tree.paths():
+        sf = tree.file(path)
+        files_checked += 1
+        rel_to_root = path.relative_to(tree.root)
+
+        for rule, pattern in _BANNED:
+            for m in pattern.finditer(sf.stripped):
+                _flag(report, tree, sf, rule, m.start(),
+                      m.group(0).rstrip("(").strip(),
+                      "non-deterministic input in simulation code "
+                      "(wall clock / global RNG); thread explicit "
+                      "state instead")
+
+        if rel_to_root != ENV_HEADER:
+            for m in _GETENV.finditer(sf.stripped):
+                _flag(report, tree, sf, "getenv", m.start(), "getenv",
+                      "environment reads must go through "
+                      "common/env.h so the content address can fold "
+                      "them in")
+
+        for m in _POINTER_KEY.finditer(sf.stripped):
+            _flag(report, tree, sf, "pointer-key", m.start(),
+                  m.group(0).replace(" ", ""),
+                  "ordered container keyed by pointer: iteration "
+                  "order is the allocator's, not the program's")
+
+        # Unordered-container iteration inside ordered-output functions.
+        paired = (tree.paired_header(path) if path.suffix == ".cc"
+                  else None)
+        unordered = _unordered_names(sf, paired)
+        if not unordered:
+            continue
+        for fn in sf.all_function_bodies():
+            haystack = fn.decl_text + fn.body_text
+            if not any(marker in haystack
+                       for marker in _ORDERED_MARKERS):
+                continue
+            for m in _RANGE_FOR.finditer(fn.body_text):
+                base = re.split(r"[.\-]", m.group(1))[0]
+                if base not in unordered:
+                    continue
+                _flag(report, tree, sf, "unordered-iter",
+                      fn.start + 1 + m.start(),
+                      f"{fn.name}(): for(... : {m.group(1)})",
+                      "iterating a hash container on an "
+                      "ordered-output path; order is "
+                      "implementation-defined — use "
+                      "saveUnorderedMap() or sort first")
+            for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\.\s*begin\s*\(",
+                                 fn.body_text):
+                if m.group(1) not in unordered:
+                    continue
+                _flag(report, tree, sf, "unordered-iter",
+                      fn.start + 1 + m.start(),
+                      f"{fn.name}(): {m.group(1)}.begin()",
+                      "iterating a hash container on an "
+                      "ordered-output path; order is "
+                      "implementation-defined — use "
+                      "saveUnorderedMap() or sort first")
+    report.note_stats(CHECK, files=files_checked)

@@ -1,0 +1,149 @@
+"""Pass 4 — probe purity.
+
+`IMitigation::probeActReleaseCycle()` is the scheduling query the
+event-driven controller may issue any number of times, in any order:
+N probes followed by one commit must equal one probe followed by one
+commit (the PR 4 contract; test_mitigations checks it dynamically for
+specific interleavings, this pass proves the structural half for all of
+them). Every override must therefore:
+
+- be declared ``const`` (and ``override``);
+- never assign to / increment a data member of its class;
+- never call a non-const member function of its class;
+- never launder mutability through ``const_cast`` or ``mutable``
+  members.
+
+A member that is provably probe-safe to touch (none exist today) would
+carry ``// bh-audit: skip(<member>) -- <reason>`` inside the function
+body.
+"""
+
+from __future__ import annotations
+
+import re
+
+from cxx import SourceTree, SourceFile, FunctionBody, token_in
+from report import Report
+
+CHECK = "probe-purity"
+
+FUNC = "probeActReleaseCycle"
+
+_MUTATION = (
+    r"(?:\+\+|--)\s*{m}\b",                      # ++m / --m
+    r"\b{m}\s*(?:\+\+|--)",                      # m++ / m--
+    r"\b{m}\s*(?:\[[^\]]*\]\s*)?"
+    r"(?:=[^=]|\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<=|>>=)",  # m = / m +=
+    r"\b{m}\s*\.\s*(?:clear|erase|insert|emplace|push_back|pop_back|"
+    r"assign|resize|swap)\s*\(",                 # mutating container op
+)
+
+
+def run(tree: SourceTree, report: Report) -> None:
+    overrides_checked = 0
+    for path in tree.paths():
+        if path.suffix != ".h":
+            continue
+        sf = tree.file(path)
+        for cls in sf.classes():
+            decl = _find_declaration(sf, cls)
+            if decl is None:
+                continue
+            overrides_checked += 1
+            rel = tree.rel(path)
+            decl_text, decl_line = decl
+            if not re.search(r"\)\s*const\b", decl_text):
+                report.add(
+                    CHECK, "non-const-probe", rel, decl_line,
+                    f"{cls.name}::{FUNC}",
+                    "probe override must be declared const — it is a "
+                    "side-effect-free scheduling query the controller "
+                    "may replay")
+            bodies = sf.find_functions(FUNC, cls.name)
+            cc = tree.paired_source(sf.path)
+            if cc is not None:
+                bodies.extend(cc.find_functions(FUNC, cls.name))
+            for body in bodies:
+                _check_body(tree, report, sf, cls, body)
+    report.note_stats(CHECK, overrides=overrides_checked)
+
+
+def _find_declaration(sf: SourceFile, cls) -> tuple[str, int] | None:
+    """The probe declaration inside *cls*'s body (text, line), whether
+    it is a pure declaration or an inline definition. Skips the
+    interface's own defaulted definition in mitigation.h (the base
+    default is the contract, not an override)."""
+    body = sf.stripped[cls.body_start:cls.body_end]
+    m = re.search(r"\b" + FUNC + r"\s*\(", body)
+    if m is None:
+        return None
+    # Declaration text: from the name to the ';' or '{'.
+    rest = body[m.start():]
+    end = len(rest)
+    for i, ch in enumerate(rest):
+        if ch in ";{":
+            end = i
+            break
+    is_base = "virtual" in body[max(0, m.start() - 120):m.start()] and \
+        "override" not in rest[:end + 40]
+    if is_base and cls.name.startswith("I"):
+        return None
+    return rest[:end], sf.line_of(cls.body_start + 1 + m.start())
+
+
+def _check_body(tree: SourceTree, report: Report, header: SourceFile,
+                cls, fn: FunctionBody) -> None:
+    body_sf = tree.file(fn.file)
+    rel = tree.rel(fn.file)
+    body_range = (body_sf.line_of(fn.start), body_sf.line_of(fn.end))
+
+    def flag(rule: str, offset_in_body: int, symbol: str,
+             message: str) -> None:
+        line = body_sf.line_of(fn.start + 1 + offset_in_body)
+        skip = body_sf.skip_for(symbol, line=line,
+                                line_range=body_range)
+        if skip is not None:
+            report.note_skip(CHECK, rel, skip.line, symbol,
+                             skip.reason)
+            return
+        report.add(CHECK, rule, rel, line,
+                   f"{cls.name}::{FUNC}: {symbol}", message)
+
+    if "const_cast" in fn.body_text:
+        flag("const-cast", fn.body_text.find("const_cast"),
+             "const_cast",
+             "probe launders away constness; mutation from a probe "
+             "breaks probe/commit idempotence")
+
+    for member in cls.members:
+        for pattern in _MUTATION:
+            m = re.search(pattern.format(m=re.escape(member.name)),
+                          fn.body_text)
+            if m is not None:
+                flag("member-mutation", m.start(), member.name,
+                     "probe mutates a data member; state that would "
+                     "have rolled by `now` must be accounted for in "
+                     "the answer, not applied")
+                break
+        if member.is_mutable and token_in(member.name, fn.body_text):
+            flag("mutable-member-use", fn.body_text.find(member.name),
+                 member.name,
+                 "probe touches a mutable member — the const "
+                 "qualifier no longer proves purity; justify with a "
+                 "skip annotation or restructure")
+
+    non_const = {meth.name for meth in cls.methods if not meth.is_const}
+    for m in re.finditer(r"(?<![\w.>])([A-Za-z_]\w*)\s*\(",
+                         fn.body_text):
+        callee = m.group(1)
+        if callee in non_const and callee != cls.name:
+            flag("non-const-call", m.start(), f"{callee}()",
+                 "probe calls a non-const member function of its own "
+                 "class")
+    for m in re.finditer(r"this\s*->\s*([A-Za-z_]\w*)\s*\(",
+                         fn.body_text):
+        callee = m.group(1)
+        if callee in non_const:
+            flag("non-const-call", m.start(), f"this->{callee}()",
+                 "probe calls a non-const member function of its own "
+                 "class")

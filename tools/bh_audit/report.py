@@ -1,0 +1,62 @@
+"""Finding model, diagnostics printing, and the JSON report."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, asdict
+
+
+@dataclass
+class Finding:
+    check: str      # pass id: snapshot-coverage, key-coverage, ...
+    rule: str       # machine-readable rule slug within the pass
+    file: str       # repo-relative path
+    line: int
+    symbol: str     # the member/field/function the finding is about
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.file}:{self.line}: [{self.check}/{self.rule}] "
+                f"{self.symbol}: {self.message}")
+
+
+class Report:
+    def __init__(self):
+        self.findings: list[Finding] = []
+        self.skips_used: list[dict] = []
+        self.pass_stats: dict[str, dict] = {}
+
+    def add(self, check: str, rule: str, file: str, line: int,
+            symbol: str, message: str) -> None:
+        self.findings.append(
+            Finding(check, rule, file, line, symbol, message))
+
+    def note_skip(self, check: str, file: str, line: int, what: str,
+                  reason: str) -> None:
+        self.skips_used.append({"check": check, "file": file,
+                                "line": line, "what": what,
+                                "reason": reason})
+
+    def note_stats(self, check: str, **stats) -> None:
+        self.pass_stats.setdefault(check, {}).update(stats)
+
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict:
+        return {
+            "findings": [asdict(f) for f in self.findings],
+            "skips_used": self.skips_used,
+            "pass_stats": self.pass_stats,
+            "clean": self.ok(),
+        }
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_json(), f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    def print_findings(self, out) -> None:
+        for f in sorted(self.findings,
+                        key=lambda x: (x.file, x.line, x.rule)):
+            print(f.format(), file=out)
